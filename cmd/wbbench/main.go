@@ -1,0 +1,45 @@
+// Command wbbench regenerates every table and figure of the Wi-Fi
+// Backscatter paper's evaluation from the simulated system.
+//
+// Usage:
+//
+//	wbbench [-quick] [-seed N] [-only fig10a,fig17,...]
+//
+// Without flags it runs the full paper-scale suite (minutes); -quick runs
+// a reduced version of every experiment in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-scale experiments")
+	seed := flag.Int64("seed", 1, "random seed (equal seeds replay identically)")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig10a,fig17); empty runs all")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	suite := eval.Suite{Seed: *seed, Quick: *quick, Progress: os.Stderr}
+	if *list {
+		for _, e := range suite.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	filter := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			filter[strings.TrimSpace(id)] = true
+		}
+	}
+	if err := suite.Run(os.Stdout, filter); err != nil {
+		fmt.Fprintln(os.Stderr, "wbbench:", err)
+		os.Exit(1)
+	}
+}

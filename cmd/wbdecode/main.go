@@ -1,0 +1,229 @@
+// Command wbdecode runs the Wi-Fi Backscatter uplink decoder offline over
+// a CSV measurement trace (the format cmd/wbtrace emits: one row per
+// packet with a timestamp and per-(antenna, sub-channel) CSI amplitudes or
+// per-antenna RSSI). This is the decoder as a standalone artifact: a trace
+// collected elsewhere — including a real Intel CSI Tool capture exported
+// to the same schema — decodes without the simulator.
+//
+// Usage:
+//
+//	wbtrace -what csi > trace.csv
+//	wbdecode -rate 100 -start 1.0 -payload 300 < trace.csv
+//
+// When the trace carries a tag_state column (ground truth from the
+// simulator), wbdecode also reports the bit error rate.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/csi"
+	"repro/internal/uplink"
+)
+
+func main() {
+	rate := flag.Float64("rate", 100, "tag bit rate in bits/s")
+	start := flag.Float64("start", 1.0, "transmission start time in seconds")
+	payload := flag.Int("payload", 0, "payload bits (0 = infer from trace span)")
+	mode := flag.String("mode", "csi", "csi or rssi")
+	flag.Parse()
+
+	if err := run(os.Stdin, os.Stdout, *rate, *start, *payload, *mode); err != nil {
+		fmt.Fprintln(os.Stderr, "wbdecode:", err)
+		os.Exit(1)
+	}
+}
+
+// trace holds a parsed CSV measurement trace.
+type trace struct {
+	series   csi.Series
+	states   []bool // per-packet tag state, when present
+	hasState bool
+}
+
+// parseTrace reads the wbtrace CSV schema.
+func parseTrace(r io.Reader) (*trace, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	col := map[string]int{}
+	for i, name := range header {
+		col[name] = i
+	}
+	tsCol, ok := col["timestamp"]
+	if !ok {
+		return nil, fmt.Errorf("trace has no timestamp column")
+	}
+	stateCol, hasState := col["tag_state"]
+	// Discover the measurement layout from column names.
+	type chanCol struct{ ant, sub, col int }
+	var csiCols []chanCol
+	var rssiCols []chanCol
+	maxAnt, maxSub := -1, -1
+	for name, i := range col {
+		var a, k int
+		if n, _ := fmt.Sscanf(name, "csi_a%d_s%d", &a, &k); n == 2 {
+			csiCols = append(csiCols, chanCol{a, k, i})
+			if a > maxAnt {
+				maxAnt = a
+			}
+			if k > maxSub {
+				maxSub = k
+			}
+		} else if n, _ := fmt.Sscanf(name, "rssi_a%d", &a); n == 1 && strings.HasPrefix(name, "rssi_") {
+			rssiCols = append(rssiCols, chanCol{a, 0, i})
+			if a > maxAnt {
+				maxAnt = a
+			}
+		}
+	}
+	if len(csiCols) == 0 && len(rssiCols) == 0 {
+		return nil, fmt.Errorf("trace has neither csi_a*_s* nor rssi_a* columns")
+	}
+	tr := &trace{hasState: hasState}
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		ts, err := strconv.ParseFloat(row[tsCol], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad timestamp %q: %w", row[tsCol], err)
+		}
+		m := csi.Measurement{Timestamp: ts}
+		if len(csiCols) > 0 {
+			m.CSI = make([][]float64, maxAnt+1)
+			for a := range m.CSI {
+				m.CSI[a] = make([]float64, maxSub+1)
+			}
+			m.RSSI = make([]float64, maxAnt+1)
+			for _, c := range csiCols {
+				v, err := strconv.ParseFloat(row[c.col], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad CSI value: %w", err)
+				}
+				m.CSI[c.ant][c.sub] = v
+			}
+		} else {
+			m.CSI = make([][]float64, maxAnt+1)
+			m.RSSI = make([]float64, maxAnt+1)
+			for a := range m.CSI {
+				m.CSI[a] = []float64{0}
+			}
+			for _, c := range rssiCols {
+				v, err := strconv.ParseFloat(row[c.col], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad RSSI value: %w", err)
+				}
+				m.RSSI[c.ant] = v
+			}
+		}
+		tr.series.Append(m)
+		if hasState {
+			tr.states = append(tr.states, row[stateCol] == "1")
+		}
+	}
+	return tr, nil
+}
+
+// groundTruth reconstructs the transmitted payload bits from the trace's
+// tag_state column by majority over each bit window.
+func (tr *trace) groundTruth(start, bitDur float64, nbits int) []bool {
+	ones := make([]int, nbits)
+	total := make([]int, nbits)
+	for i, m := range tr.series.Measurements {
+		j := int((m.Timestamp - start) / bitDur)
+		if j < 0 || j >= nbits {
+			continue
+		}
+		total[j]++
+		if tr.states[i] {
+			ones[j]++
+		}
+	}
+	bits := make([]bool, nbits)
+	for j := range bits {
+		bits[j] = ones[j]*2 > total[j]
+	}
+	return bits
+}
+
+func run(in io.Reader, out io.Writer, rate, start float64, payloadLen int, mode string) error {
+	if rate <= 0 {
+		return fmt.Errorf("rate must be positive")
+	}
+	tr, err := parseTrace(in)
+	if err != nil {
+		return err
+	}
+	if tr.series.Len() == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+	bitDur := 1 / rate
+	if payloadLen <= 0 {
+		// Infer from the span after the start time, minus framing.
+		last := tr.series.Measurements[tr.series.Len()-1].Timestamp
+		payloadLen = int((last-start)/bitDur) - 26
+		if payloadLen <= 0 {
+			return fmt.Errorf("trace too short to infer a payload length")
+		}
+	}
+	dec, err := uplink.NewDecoder(uplink.DefaultConfig(bitDur))
+	if err != nil {
+		return err
+	}
+	var res *uplink.Result
+	switch mode {
+	case "csi":
+		res, err = dec.DecodeCSI(&tr.series, start, payloadLen)
+	case "rssi":
+		res, err = dec.DecodeRSSI(&tr.series, start, payloadLen)
+	default:
+		return fmt.Errorf("unknown -mode %q", mode)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "measurements:        %d\n", tr.series.Len())
+	fmt.Fprintf(out, "payload bits:        %d\n", payloadLen)
+	fmt.Fprintf(out, "measurements/bit:    %.1f\n", res.MeasurementsPerBit)
+	fmt.Fprintf(out, "preamble correlation: %.3f (detected: %v)\n",
+		res.PreambleCorrelation, dec.Detected(res))
+	fmt.Fprintf(out, "channels used:       %v\n", res.Good)
+	fmt.Fprintf(out, "bits: %s\n", bitString(res.Payload))
+	if tr.hasState {
+		truth := tr.groundTruth(start, bitDur, 13+payloadLen+13)
+		errs := 0
+		for i := 0; i < payloadLen; i++ {
+			if res.Payload[i] != truth[13+i] {
+				errs++
+			}
+		}
+		fmt.Fprintf(out, "ground truth BER:    %d/%d = %.2e\n",
+			errs, payloadLen, float64(errs)/float64(payloadLen))
+	}
+	return nil
+}
+
+func bitString(bits []bool) string {
+	var b strings.Builder
+	for _, bit := range bits {
+		if bit {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}

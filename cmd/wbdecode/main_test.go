@@ -1,0 +1,146 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildCSV synthesizes a small but decodable CSI trace: 2 antennas × 4
+// sub-channels, 1000 pkt/s, a framed transmission of alternating payload
+// bits starting at t=1.0 at 100 bps. Channel (0,1) carries the modulation.
+func buildCSV(t *testing.T, withState bool, rssiOnly bool) (string, []bool) {
+	t.Helper()
+	// Frame: 13-bit Barker preamble + payload + 13-bit inverted postamble.
+	barker := []bool{true, true, true, true, true, false, false, true, true, false, true, false, true}
+	payload := make([]bool, 20)
+	for i := range payload {
+		payload[i] = i%2 == 0
+	}
+	frame := append([]bool{}, barker...)
+	frame = append(frame, payload...)
+	for _, b := range barker {
+		frame = append(frame, !b)
+	}
+	var sb strings.Builder
+	if rssiOnly {
+		sb.WriteString("packet,timestamp,tag_state,rssi_a0,rssi_a1\n")
+	} else {
+		sb.WriteString("packet,timestamp")
+		if withState {
+			sb.WriteString(",tag_state")
+		}
+		for a := 0; a < 2; a++ {
+			for k := 0; k < 4; k++ {
+				fmt.Fprintf(&sb, ",csi_a%d_s%d", a, k)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	const bitDur = 0.01
+	for i := 0; i < 2000; i++ {
+		ts := float64(i) * 0.001
+		bit := 0
+		j := int((ts - 1.0) / bitDur)
+		if j >= 0 && j < len(frame) && frame[j] {
+			bit = 1
+		}
+		// Deterministic dither so conditioning has texture.
+		dither := 0.02 * math.Sin(float64(i)*0.7)
+		if rssiOnly {
+			fmt.Fprintf(&sb, "%d,%.6f,%d,%.2f,%.2f\n", i, ts, bit,
+				30+2*float64(bit)+dither, 28+dither)
+			continue
+		}
+		fmt.Fprintf(&sb, "%d,%.6f", i, ts)
+		if withState {
+			fmt.Fprintf(&sb, ",%d", bit)
+		}
+		for a := 0; a < 2; a++ {
+			for k := 0; k < 4; k++ {
+				v := 10.0 + dither
+				if a == 0 && k == 1 {
+					v += 2 * float64(bit) // the modulated channel
+				}
+				fmt.Fprintf(&sb, ",%.4f", v)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String(), payload
+}
+
+func TestRunDecodesCSITrace(t *testing.T) {
+	csvData, _ := buildCSV(t, true, false)
+	var out strings.Builder
+	if err := run(strings.NewReader(csvData), &out, 100, 1.0, 20, "csi"); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "10101010101010101010") {
+		t.Errorf("decoded bits missing or wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "ground truth BER:    0/20") {
+		t.Errorf("ground truth BER not clean:\n%s", text)
+	}
+}
+
+func TestRunDecodesRSSITrace(t *testing.T) {
+	csvData, _ := buildCSV(t, true, true)
+	var out strings.Builder
+	if err := run(strings.NewReader(csvData), &out, 100, 1.0, 20, "rssi"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "10101010101010101010") {
+		t.Errorf("RSSI decode wrong:\n%s", out.String())
+	}
+}
+
+func TestRunInfersPayloadLength(t *testing.T) {
+	csvData, _ := buildCSV(t, false, false)
+	var out strings.Builder
+	if err := run(strings.NewReader(csvData), &out, 100, 1.0, 0, "csi"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "payload bits:") {
+		t.Errorf("inferred run produced no output:\n%s", out.String())
+	}
+	// Without tag_state there is no ground-truth line.
+	if strings.Contains(out.String(), "ground truth") {
+		t.Error("ground truth printed without a tag_state column")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(strings.NewReader("a,b\n"), &strings.Builder{}, 100, 1, 10, "csi"); err == nil {
+		t.Error("headers without measurements should error")
+	}
+	if err := run(strings.NewReader("timestamp,csi_a0_s0\n"), &strings.Builder{}, 100, 1, 10, "csi"); err == nil {
+		t.Error("empty trace should error")
+	}
+	csvData, _ := buildCSV(t, true, false)
+	if err := run(strings.NewReader(csvData), &strings.Builder{}, 0, 1, 10, "csi"); err == nil {
+		t.Error("zero rate should error")
+	}
+	if err := run(strings.NewReader(csvData), &strings.Builder{}, 100, 1, 10, "nope"); err == nil {
+		t.Error("unknown mode should error")
+	}
+}
+
+func TestParseTraceShapes(t *testing.T) {
+	csvData, _ := buildCSV(t, true, false)
+	tr, err := parseTrace(strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.series.Len() != 2000 {
+		t.Errorf("parsed %d measurements", tr.series.Len())
+	}
+	if tr.series.Antennas() != 2 || tr.series.Subchannels() != 4 {
+		t.Errorf("shape = (%d, %d)", tr.series.Antennas(), tr.series.Subchannels())
+	}
+	if !tr.hasState || len(tr.states) != 2000 {
+		t.Error("tag_state column not parsed")
+	}
+}

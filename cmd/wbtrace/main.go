@@ -1,0 +1,173 @@
+// Command wbtrace dumps simulated traces: the per-packet CSI amplitude of
+// every sub-channel (the raw data behind Figs. 3 and 6) or the per-antenna
+// RSSI as CSV, a binary frame capture of everything on the medium, or a
+// summary of an existing capture.
+//
+// Usage:
+//
+//	wbtrace [-tag-dist cm] [-packets N] [-what csi|rssi|frames] [-seed N] > out
+//	wbtrace -summarize trace.wbt
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/tag"
+	"repro/internal/units"
+	"repro/internal/wifi"
+)
+
+func main() {
+	tagDist := flag.Float64("tag-dist", 5, "tag to reader distance in cm")
+	packets := flag.Int("packets", 3000, "number of packets to capture")
+	what := flag.String("what", "csi", "csi, rssi (CSV) or frames (binary capture)")
+	seed := flag.Int64("seed", 1, "random seed")
+	summarize := flag.String("summarize", "", "summarize an existing frame capture and exit")
+	flag.Parse()
+
+	if *summarize != "" {
+		if err := summarizeFile(*summarize); err != nil {
+			fmt.Fprintln(os.Stderr, "wbtrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*tagDist, *packets, *what, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "wbtrace:", err)
+		os.Exit(1)
+	}
+}
+
+// summarizeFile prints a capture's statistics.
+func summarizeFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := capture.NewReader(f).ReadAll()
+	if err != nil {
+		return err
+	}
+	s := capture.Summarize(recs)
+	fmt.Printf("records:     %d (%d collided, %d lost)\n", s.Records, s.Collided, s.Lost)
+	fmt.Printf("bytes:       %d\n", s.Bytes)
+	fmt.Printf("span:        %.3f s, air time %.3f s (%.1f%% utilization)\n",
+		s.LastEnd-s.FirstStart, s.AirTime, 100*s.Utilization())
+	for ft, n := range s.ByType {
+		fmt.Printf("  %-12s %d\n", ft.String()+":", n)
+	}
+	return nil
+}
+
+func run(tagDist float64, packets int, what string, seed int64) error {
+	sys, err := core.NewSystem(core.Config{
+		Seed:              seed,
+		TagReaderDistance: units.Centimeters(tagDist),
+	})
+	if err != nil {
+		return err
+	}
+	sys.EnableTxLog()
+	(&wifi.CBRSource{
+		Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 0.001,
+	}).Start()
+	payload := make([]bool, packets/10)
+	for i := range payload {
+		payload[i] = i%2 == 0
+	}
+	mod, err := sys.TransmitUplink(tag.FrameBits(payload), 1.0, 100)
+	if err != nil {
+		return err
+	}
+	sys.Run(mod.End() + 0.5)
+	s := sys.Series()
+
+	if what == "frames" {
+		cw := capture.NewWriter(os.Stdout)
+		for i, tx := range sys.TxLog() {
+			if i >= packets {
+				break
+			}
+			if err := cw.Write(&capture.Record{
+				Start: tx.Start, End: tx.End, Rate: tx.Rate,
+				Collided: tx.Collided, Lost: tx.Lost, Frame: *tx.Frame,
+			}); err != nil {
+				return err
+			}
+		}
+		return cw.Flush()
+	}
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch what {
+	case "csi":
+		header := []string{"packet", "timestamp", "tag_state"}
+		for a := 0; a < s.Antennas(); a++ {
+			for k := 0; k < s.Subchannels(); k++ {
+				header = append(header, fmt.Sprintf("csi_a%d_s%d", a, k))
+			}
+		}
+		if err := w.Write(header); err != nil {
+			return err
+		}
+		for i, m := range s.Measurements {
+			if i >= packets {
+				break
+			}
+			row := []string{
+				strconv.Itoa(i),
+				strconv.FormatFloat(m.Timestamp, 'f', 6, 64),
+				boolTo01(mod.StateAt(m.Timestamp)),
+			}
+			for a := range m.CSI {
+				for _, v := range m.CSI[a] {
+					row = append(row, strconv.FormatFloat(v, 'f', 4, 64))
+				}
+			}
+			if err := w.Write(row); err != nil {
+				return err
+			}
+		}
+	case "rssi":
+		header := []string{"packet", "timestamp", "tag_state"}
+		for a := 0; a < s.Antennas(); a++ {
+			header = append(header, fmt.Sprintf("rssi_a%d", a))
+		}
+		if err := w.Write(header); err != nil {
+			return err
+		}
+		for i, m := range s.Measurements {
+			if i >= packets {
+				break
+			}
+			row := []string{
+				strconv.Itoa(i),
+				strconv.FormatFloat(m.Timestamp, 'f', 6, 64),
+				boolTo01(mod.StateAt(m.Timestamp)),
+			}
+			for _, v := range m.RSSI {
+				row = append(row, strconv.FormatFloat(v, 'f', 2, 64))
+			}
+			if err := w.Write(row); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown -what %q (use csi, rssi, or frames)", what)
+	}
+	return nil
+}
+
+func boolTo01(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}

@@ -1,0 +1,10 @@
+// Package repro is a full reimplementation and simulation-based
+// reproduction of "Wi-Fi Backscatter: Internet Connectivity for RF-Powered
+// Devices" (Kellogg, Parks, Gollakota, Smith, Wetherall — SIGCOMM 2014).
+//
+// The paper's hardware prototype is replaced by a physics-level simulator
+// (see DESIGN.md); the uplink and downlink algorithms are the paper's own.
+// The public entry point is internal/core; runnable tools live under cmd/
+// and worked examples under examples/. The root-level benchmarks
+// (bench_test.go) regenerate every table and figure of the evaluation.
+package repro

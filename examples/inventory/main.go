@@ -1,0 +1,69 @@
+// Inventory: discovering a population of unknown battery-free tags with
+// the EPC Gen-2-style slotted-ALOHA protocol the paper sketches in §2.
+//
+// Six tags sit at different distances from the reader. The reader knows
+// nothing about them; it broadcasts inventory queries, resolves slot
+// collisions by adapting the frame size, acknowledges captured handles,
+// and collects each tag's 48-bit ID.
+//
+// Run with:
+//
+//	go run ./examples/inventory
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/inventory"
+	"repro/internal/units"
+	"repro/internal/wifi"
+)
+
+func main() {
+	sys, err := core.NewSystem(core.Config{
+		Seed:              11,
+		TagReaderDistance: units.Centimeters(12),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Ambient traffic for the uplink.
+	(&wifi.CBRSource{
+		Station: sys.Helper, Dst: wifi.MAC{0x02, 0, 0, 0, 0, 9},
+		Payload: 200, Interval: 0.001,
+	}).Start()
+	sys.Run(0.3)
+
+	// The unknown population: six tags, 12–37 cm from the reader.
+	ids := []uint64{
+		0x0001_0000_000A, 0x0001_0000_000B, 0x0001_0000_000C,
+		0x0001_0000_000D, 0x0001_0000_000E, 0x0001_0000_000F,
+	}
+	dists := make([]units.Meters, len(ids))
+	for i := range dists {
+		dists[i] = units.Centimeters(12 + 5*float64(i))
+	}
+	inv, err := inventory.New(sys, ids, dists, inventory.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := inv.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("inventory finished in %.1f s of air time:\n", res.Duration)
+	fmt.Printf("  rounds %d, slots %d (%d singles, %d collisions, %d empties)\n",
+		res.Rounds, res.Slots, res.Singles, res.Collisions, res.Empties)
+	for i, id := range res.Identified {
+		fmt.Printf("  tag %d: %#012x\n", i+1, id)
+	}
+	if len(res.Identified) == len(ids) {
+		fmt.Println("all tags identified — ready for individual queries.")
+	} else {
+		fmt.Printf("%d tags remain unidentified (raise MaxRounds).\n",
+			len(ids)-len(res.Identified))
+	}
+}

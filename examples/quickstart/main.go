@@ -1,0 +1,58 @@
+// Quickstart: the smallest complete Wi-Fi Backscatter round trip.
+//
+// A battery-free tag sits 20 cm from a Wi-Fi reader (e.g. a phone); a
+// Wi-Fi AP three meters away provides the ambient packets the tag
+// modulates. The reader queries the tag over the packet-presence downlink
+// and decodes the tag's 48-bit answer from per-packet CSI.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/reader"
+	"repro/internal/units"
+	"repro/internal/wifi"
+)
+
+func main() {
+	// 1. Describe the deployment. Everything else takes paper defaults.
+	sys, err := core.NewSystem(core.Config{
+		Seed:              42,
+		TagReaderDistance: units.Centimeters(20),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Give the helper (the AP) some traffic for the tag to ride on.
+	(&wifi.CBRSource{
+		Station:  sys.Helper,
+		Dst:      wifi.MAC{0x02, 0, 0, 0, 0, 9},
+		Payload:  200,
+		Interval: 0.001, // 1000 packets/s
+	}).Start()
+	sys.Run(0.3) // let traffic warm up
+
+	// 3. Query the tag: "read your sensor, answer at 100 bps".
+	const sensorReading = 0x0000_2A42_0017 // what the tag will report
+	q := reader.Query{Command: reader.CmdRead, TagID: 1, BitRate: 100}
+	res, err := sys.RunQuery(q, sensorReading, core.DefaultTransactionConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Inspect the round trip.
+	fmt.Println("tag decoded the query:  ", res.TagDecoded)
+	fmt.Println("reader decoded response:", res.ResponseOK)
+	fmt.Printf("tag reported:            %#012x\n", res.ResponseData)
+	if res.ResponseData == sensorReading {
+		fmt.Println("round trip verified — an RF-powered device just")
+		fmt.Println("answered a query using nothing but reflected Wi-Fi.")
+	}
+}

@@ -1,0 +1,205 @@
+package capture
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/wifi"
+)
+
+func sampleRecord(seq uint16) *Record {
+	return &Record{
+		Start:    1.5,
+		End:      1.5006,
+		Rate:     wifi.Rate54,
+		Collided: seq%3 == 0,
+		Lost:     seq%5 == 0,
+		Frame: wifi.Frame{
+			Header: wifi.Header{
+				Type:  wifi.TypeData,
+				Addr1: wifi.MAC{1, 2, 3, 4, 5, 6},
+				Seq:   seq,
+			},
+			Payload: []byte("payload"),
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := uint16(0); i < 10; i++ {
+		if err := w.Write(sampleRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 10 {
+		t.Errorf("count = %d", w.Count())
+	}
+	recs, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("read %d records", len(recs))
+	}
+	for i, r := range recs {
+		want := sampleRecord(uint16(i))
+		if r.Start != want.Start || r.End != want.End || r.Rate != want.Rate ||
+			r.Collided != want.Collided || r.Lost != want.Lost {
+			t.Errorf("record %d metadata mismatch: %+v", i, r)
+		}
+		if r.Frame.Header.Seq != uint16(i) {
+			t.Errorf("record %d seq = %d", i, r.Frame.Header.Seq)
+		}
+		if string(r.Frame.Payload) != "payload" {
+			t.Errorf("record %d payload = %q", i, r.Frame.Payload)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(start float64, dur uint16, payload []byte, seq uint16) bool {
+		if len(payload) > 2000 {
+			payload = payload[:2000]
+		}
+		rec := &Record{
+			Start: start,
+			End:   start + float64(dur)*1e-6,
+			Rate:  wifi.Rate24,
+			Frame: wifi.Frame{Header: wifi.Header{Type: wifi.TypeData, Seq: seq}, Payload: payload},
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(rec); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf).Next()
+		if err != nil {
+			return false
+		}
+		return got.Start == rec.Start && got.End == rec.End &&
+			got.Frame.Header.Seq == seq && bytes.Equal(got.Frame.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("empty trace read %d records", len(recs))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	buf := bytes.NewBufferString("NOPE0000")
+	if _, err := NewReader(buf).Next(); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	buf.Write([]byte{0xFF, 0x00, 0, 0})
+	if _, err := NewReader(&buf).Next(); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(sampleRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r := NewReader(bytes.NewReader(data[:len(data)-3]))
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("truncated record err = %v, want a real error", err)
+	}
+}
+
+func TestCorruptedFrameFCS(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(sampleRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-5] ^= 0xFF // corrupt inside the frame body
+	if _, err := NewReader(bytes.NewReader(data)).Next(); err == nil {
+		t.Error("corrupted frame should fail FCS validation")
+	}
+}
+
+func TestOversizedLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(sampleRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The length field sits at offset 8 (header) + 18.
+	data[8+18] = 0xFF
+	data[8+19] = 0xFF
+	data[8+20] = 0xFF
+	data[8+21] = 0x7F
+	if _, err := NewReader(bytes.NewReader(data)).Next(); err == nil {
+		t.Error("oversized length should be rejected")
+	}
+}
+
+func TestAttachCapturesMediumTraffic(t *testing.T) {
+	eng := sim.NewEngine()
+	m := wifi.NewMedium(eng, rng.New(1))
+	st := m.AddStation("s", wifi.MAC{1}, wifi.Rate54)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	aw := w.Attach(m)
+	(&wifi.CBRSource{Station: st, Dst: wifi.MAC{2}, Payload: 100, Interval: 0.002}).Start()
+	eng.Run(1)
+	if aw.Err() != nil {
+		t.Fatal(aw.Err())
+	}
+	recs, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 400 {
+		t.Fatalf("captured %d records, want ~500", len(recs))
+	}
+	stats := Summarize(recs)
+	if stats.Records != len(recs) || stats.Bytes == 0 || stats.AirTime <= 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.ByType[wifi.TypeData] != len(recs) {
+		t.Errorf("expected all data frames: %v", stats.ByType)
+	}
+	u := stats.Utilization()
+	if u <= 0 || u >= 1 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Records != 0 || s.Utilization() != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/downlink"
+	"repro/internal/reader"
+	"repro/internal/tag"
+)
+
+// This file implements the full request-response transaction of §2: the
+// reader queries the tag on the downlink (packet presence/absence inside a
+// CTS_to_SELF) and the tag answers on the uplink (channel modulation over
+// the helper's packets), with reader-side retransmission (§4.1).
+
+// QueryResult reports one transaction's outcome.
+type QueryResult struct {
+	// Query as sent.
+	Query reader.Query
+	// Attempts used (1 = first try succeeded).
+	Attempts int
+	// TagDecoded reports whether the tag decoded the query (CRC clean).
+	TagDecoded bool
+	// TagHeard is the query the tag decoded.
+	TagHeard reader.Query
+	// ResponseOK reports whether the reader decoded the tag's response
+	// with a clean CRC.
+	ResponseOK bool
+	// ResponseData is the tag's decoded 48-bit response payload.
+	ResponseData uint64
+	// ResponseCorrelation is the uplink preamble correlation of the
+	// final attempt.
+	ResponseCorrelation float64
+}
+
+// TransactionConfig tunes the round trip.
+type TransactionConfig struct {
+	// DownlinkBitDuration (50 µs default → 20 kbps).
+	DownlinkBitDuration float64
+	// Turnaround is the delay between the tag decoding a query and
+	// starting its response.
+	Turnaround float64
+	// ResponseTimeout bounds one attempt: downlink + turnaround +
+	// uplink + decode margin.
+	ResponseTimeout float64
+	// MaxAttempts bounds retransmissions.
+	MaxAttempts int
+}
+
+// DefaultTransactionConfig returns sane timings for a 100 bps uplink.
+func DefaultTransactionConfig() TransactionConfig {
+	return TransactionConfig{
+		DownlinkBitDuration: 50e-6,
+		Turnaround:          0.02,
+		ResponseTimeout:     3.0,
+		MaxAttempts:         5,
+	}
+}
+
+// RunQuery executes a full transaction: the reader sends q on the
+// downlink; if the tag decodes it, the tag responds with tagData (48 bits)
+// at the query's advised bit rate; the reader decodes the response from
+// its channel measurements. Helper traffic must already be running and the
+// engine is advanced internally.
+func (s *System) RunQuery(q reader.Query, tagData uint64, tc TransactionConfig) (*QueryResult, error) {
+	if q.BitRate == 0 {
+		return nil, fmt.Errorf("core: query must advise a bit rate")
+	}
+	if tc.DownlinkBitDuration <= 0 || tc.ResponseTimeout <= 0 || tc.MaxAttempts <= 0 {
+		return nil, fmt.Errorf("core: invalid transaction config %+v", tc)
+	}
+	s.EnableTxLog()
+	enc, err := downlink.NewEncoder(tc.DownlinkBitDuration)
+	if err != nil {
+		return nil, err
+	}
+	chunks := enc.Plan(q.Encode().Bits())
+	if len(chunks) != 1 {
+		return nil, fmt.Errorf("core: query does not fit one reservation (%d chunks)", len(chunks))
+	}
+	res := &QueryResult{Query: q}
+	tr := reader.NewTransaction(q)
+	tr.MaxAttempts = tc.MaxAttempts
+	done := false
+
+	var attempt func()
+	attempt = func() {
+		if done || !tr.NextAttempt() {
+			done = true
+			return
+		}
+		res.Attempts = tr.Attempts
+		deadline := s.Eng.Now() + tc.ResponseTimeout
+		if err := enc.Send(s.Medium, s.Reader, chunks, func(_ int, start float64) {
+			// Tag decodes at the end of the protected window.
+			s.Eng.ScheduleAt(start+chunks[0].Reservation, func() {
+				wr, derr := s.DecodeDownlinkWindow(start, chunks[0].Reservation, tc.DownlinkBitDuration)
+				if derr != nil || wr.Err != nil {
+					return // tag missed the query; reader will time out
+				}
+				res.TagDecoded = true
+				res.TagHeard = reader.DecodeQuery(wr.Message)
+				// Tag responds at the advised rate after turnaround.
+				// The payload is scrambled so structured data stays
+				// DC-balanced under the reader's conditioning filter.
+				bits := tag.FrameBits(tag.Scramble(downlink.NewMessage(tagData).PayloadBits()))
+				startTx := s.Eng.Now() + tc.Turnaround
+				mod, merr := s.TransmitUplink(bits, startTx, float64(res.TagHeard.BitRate))
+				if merr != nil {
+					return
+				}
+				// Reader decodes after the response completes.
+				s.Eng.ScheduleAt(mod.End()+0.05, func() {
+					dec, uerr := s.UplinkDecoder(float64(res.TagHeard.BitRate))
+					if uerr != nil {
+						return
+					}
+					ur, uerr := dec.DecodeCSI(s.Series(), mod.Start(), downlink.PayloadBits)
+					if uerr != nil {
+						return
+					}
+					res.ResponseCorrelation = ur.PreambleCorrelation
+					if !dec.Detected(ur) {
+						return
+					}
+					msg, perr := downlink.ParsePayload(tag.Scramble(ur.Payload))
+					if perr != nil {
+						return
+					}
+					res.ResponseOK = true
+					res.ResponseData = msg.Data
+					tr.Complete()
+					done = true
+				})
+			})
+		}); err != nil {
+			done = true
+			return
+		}
+		// Retry after the timeout if not complete.
+		s.Eng.ScheduleAt(deadline, func() {
+			if !done {
+				attempt()
+			}
+		})
+	}
+	s.Eng.Schedule(0, attempt)
+	horizon := s.Eng.Now() + float64(tc.MaxAttempts+1)*tc.ResponseTimeout
+	s.Eng.Run(horizon)
+	return res, nil
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+	"repro/internal/rng"
+	"repro/internal/tag"
+	"repro/internal/uplink"
+	"repro/internal/wifi"
+)
+
+// This file provides the single-trial workhorses the evaluation harness
+// (internal/eval) sweeps over.
+
+// DecodeMode selects the reader's measurement source.
+type DecodeMode int
+
+// Decode modes.
+const (
+	// DecodeCSI uses per-sub-channel CSI (§3.2).
+	DecodeCSI DecodeMode = iota
+	// DecodeRSSI uses per-antenna RSSI only (§3.3).
+	DecodeRSSI
+)
+
+// String implements fmt.Stringer.
+func (m DecodeMode) String() string {
+	if m == DecodeRSSI {
+		return "RSSI"
+	}
+	return "CSI"
+}
+
+// UplinkTrialSpec configures one uplink transmission trial.
+type UplinkTrialSpec struct {
+	// System config (seed, geometry, models).
+	Config Config
+	// BitRate of the tag, bits/second.
+	BitRate float64
+	// HelperPacketsPerSecond is the CBR injection rate at the helper
+	// (the paper inserts delays between injected packets to set this).
+	HelperPacketsPerSecond float64
+	// PayloadLen in bits (the paper's runs use 90).
+	PayloadLen int
+	// Mode selects CSI or RSSI decoding.
+	Mode DecodeMode
+	// UseBeacons replaces CBR data traffic with AP beacons at
+	// HelperPacketsPerSecond (Fig. 16).
+	UseBeacons bool
+	// Bursty replaces CBR with heavy-tailed on/off traffic at roughly
+	// HelperPacketsPerSecond, exercising the timestamp-binning logic.
+	Bursty bool
+}
+
+// UplinkTrialResult is one trial's outcome.
+type UplinkTrialResult struct {
+	// Sent is the transmitted payload.
+	Sent []bool
+	// Result is the decoder output.
+	Result *uplink.Result
+	// BitErrors counts payload mismatches.
+	BitErrors int
+	// Detected reports whether the preamble correlation cleared the
+	// detection threshold.
+	Detected bool
+}
+
+// startHelperTraffic wires the spec's traffic source to the helper.
+func startHelperTraffic(sys *System, spec UplinkTrialSpec) {
+	dst := wifi.MAC{0x02, 0, 0, 0, 0, 9}
+	switch {
+	case spec.UseBeacons:
+		(&wifi.BeaconSource{
+			Station:  sys.Helper,
+			Interval: 1 / spec.HelperPacketsPerSecond,
+		}).Start()
+	case spec.Bursty:
+		// Bursts of ~20 packets with gaps sized to hit the average
+		// rate.
+		const burst = 20.0
+		const inBurst = 0.0005
+		gap := burst/spec.HelperPacketsPerSecond - burst*inBurst
+		if gap < 0.001 {
+			gap = 0.001
+		}
+		(&wifi.BurstySource{
+			Station: sys.Helper, Dst: dst, Payload: 200,
+			MeanBurst: burst, MeanGap: gap, InBurstInterval: inBurst,
+			Rnd: rng.New(spec.Config.Seed + 991),
+		}).Start()
+	default:
+		(&wifi.CBRSource{
+			Station:  sys.Helper,
+			Dst:      dst,
+			Payload:  200,
+			Interval: 1 / spec.HelperPacketsPerSecond,
+		}).Start()
+	}
+}
+
+// RunUplinkVariantTrial is RunUplinkTrial decoding with an ablated
+// pipeline variant instead of the paper's.
+func RunUplinkVariantTrial(spec UplinkTrialSpec, v uplink.Variant) (*UplinkTrialResult, error) {
+	if spec.BitRate <= 0 || spec.PayloadLen <= 0 || spec.HelperPacketsPerSecond <= 0 {
+		return nil, fmt.Errorf("core: invalid trial spec")
+	}
+	sys, err := NewSystem(spec.Config)
+	if err != nil {
+		return nil, err
+	}
+	startHelperTraffic(sys, spec)
+	payload := RandomPayload(spec.PayloadLen, spec.Config.Seed+7777)
+	mod, err := sys.TransmitUplink(tag.FrameBits(payload), 1.0, spec.BitRate)
+	if err != nil {
+		return nil, err
+	}
+	sys.Run(mod.End() + 0.5)
+	dec, err := sys.UplinkDecoder(spec.BitRate)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dec.DecodeVariant(sys.Series(), mod.Start(), spec.PayloadLen, v)
+	if err != nil {
+		return nil, err
+	}
+	return &UplinkTrialResult{
+		Sent:      payload,
+		Result:    res,
+		BitErrors: CountBitErrors(res.Payload, payload),
+		Detected:  dec.Detected(res),
+	}, nil
+}
+
+// RandomPayload returns a deterministic pseudo-random payload.
+func RandomPayload(n int, seed int64) []bool {
+	rnd := rng.New(seed)
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rnd.Bool()
+	}
+	return out
+}
+
+// CountBitErrors compares two payloads; missing decoded bits count as
+// errors.
+func CountBitErrors(got, want []bool) int {
+	errs := 0
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			errs++
+		}
+	}
+	return errs
+}
+
+// RunUplinkTrial executes one tag transmission over helper traffic and
+// decodes it: build system → warm up traffic → transmit → decode.
+func RunUplinkTrial(spec UplinkTrialSpec) (*UplinkTrialResult, error) {
+	if spec.BitRate <= 0 || spec.PayloadLen <= 0 {
+		return nil, fmt.Errorf("core: invalid trial spec: rate %v, payload %d",
+			spec.BitRate, spec.PayloadLen)
+	}
+	if spec.HelperPacketsPerSecond <= 0 {
+		return nil, fmt.Errorf("core: helper rate must be positive")
+	}
+	sys, err := NewSystem(spec.Config)
+	if err != nil {
+		return nil, err
+	}
+	startHelperTraffic(sys, spec)
+	payload := RandomPayload(spec.PayloadLen, spec.Config.Seed+7777)
+	const txStart = 1.0 // warm-up so the conditioning window has context
+	mod, err := sys.TransmitUplink(tag.FrameBits(payload), txStart, spec.BitRate)
+	if err != nil {
+		return nil, err
+	}
+	sys.Run(mod.End() + 0.5)
+	dec, err := sys.UplinkDecoder(spec.BitRate)
+	if err != nil {
+		return nil, err
+	}
+	var res *uplink.Result
+	switch spec.Mode {
+	case DecodeRSSI:
+		res, err = dec.DecodeRSSI(sys.Series(), mod.Start(), spec.PayloadLen)
+	default:
+		res, err = dec.DecodeCSI(sys.Series(), mod.Start(), spec.PayloadLen)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &UplinkTrialResult{
+		Sent:      payload,
+		Result:    res,
+		BitErrors: CountBitErrors(res.Payload, payload),
+		Detected:  dec.Detected(res),
+	}, nil
+}
+
+// RunSingleChannelTrial is RunUplinkTrial but decoding from exactly one
+// (antenna, sub-channel) pair — the Fig. 5 / Fig. 11 baseline.
+func RunSingleChannelTrial(spec UplinkTrialSpec, antenna, subchannel int) (*UplinkTrialResult, error) {
+	if spec.BitRate <= 0 || spec.PayloadLen <= 0 || spec.HelperPacketsPerSecond <= 0 {
+		return nil, fmt.Errorf("core: invalid trial spec")
+	}
+	sys, err := NewSystem(spec.Config)
+	if err != nil {
+		return nil, err
+	}
+	(&wifi.CBRSource{
+		Station:  sys.Helper,
+		Dst:      wifi.MAC{0x02, 0, 0, 0, 0, 9},
+		Payload:  200,
+		Interval: 1 / spec.HelperPacketsPerSecond,
+	}).Start()
+	payload := RandomPayload(spec.PayloadLen, spec.Config.Seed+7777)
+	mod, err := sys.TransmitUplink(tag.FrameBits(payload), 1.0, spec.BitRate)
+	if err != nil {
+		return nil, err
+	}
+	sys.Run(mod.End() + 0.5)
+	dec, err := sys.UplinkDecoder(spec.BitRate)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dec.DecodeSingleChannel(sys.Series(), mod.Start(), spec.PayloadLen, antenna, subchannel)
+	if err != nil {
+		return nil, err
+	}
+	return &UplinkTrialResult{
+		Sent:      payload,
+		Result:    res,
+		BitErrors: CountBitErrors(res.Payload, payload),
+		Detected:  dec.Detected(res),
+	}, nil
+}
+
+// RunLongRangeTrial executes one coded long-range transmission (§3.4) with
+// orthogonal codes of length codeLen and returns the bit error count.
+func RunLongRangeTrial(spec UplinkTrialSpec, codeLen int) (*UplinkTrialResult, error) {
+	if spec.BitRate <= 0 || spec.PayloadLen <= 0 || spec.HelperPacketsPerSecond <= 0 {
+		return nil, fmt.Errorf("core: invalid trial spec")
+	}
+	code0, code1, err := dsp.WalshPair(codeLen)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystem(spec.Config)
+	if err != nil {
+		return nil, err
+	}
+	(&wifi.CBRSource{
+		Station:  sys.Helper,
+		Dst:      wifi.MAC{0x02, 0, 0, 0, 0, 9},
+		Payload:  200,
+		Interval: 1 / spec.HelperPacketsPerSecond,
+	}).Start()
+	payload := RandomPayload(spec.PayloadLen, spec.Config.Seed+7777)
+	chips := tag.ExpandWithCodes(payload, code0, code1)
+	frame := make([]bool, 0, 26+len(chips))
+	frame = append(frame, tag.Preamble...)
+	frame = append(frame, chips...)
+	frame = append(frame, tag.Postamble...)
+	mod, err := sys.TransmitUplink(frame, 1.0, spec.BitRate)
+	if err != nil {
+		return nil, err
+	}
+	sys.Run(mod.End() + 0.5)
+	dec, err := sys.UplinkDecoder(spec.BitRate)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dec.DecodeLongRange(sys.Series(), mod.Start(), spec.PayloadLen, code0, code1)
+	if err != nil {
+		return nil, err
+	}
+	return &UplinkTrialResult{
+		Sent:      payload,
+		Result:    &uplink.Result{Payload: res.Payload, Good: res.Good, PreambleCorrelation: 1},
+		BitErrors: CountBitErrors(res.Payload, payload),
+		Detected:  true,
+	}, nil
+}

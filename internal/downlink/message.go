@@ -1,0 +1,110 @@
+// Package downlink implements the reader→tag channel (§4): a message
+// format of 16 preamble bits plus a 64-bit payload (48 data bits and a
+// 16-bit CRC), and the encoder that maps bits onto the presence (1) or
+// absence (0) of short Wi-Fi packets inside CTS_to_SELF reservations.
+package downlink
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/tag"
+)
+
+// Message layout constants (§4.1: "the Wi-Fi reader can transmit a 64-bit
+// payload message with a 16-bit preamble in 4.0 ms").
+const (
+	// DataBits is the number of application data bits per message.
+	DataBits = 48
+	// CRCBits is the checksum width.
+	CRCBits = 16
+	// PayloadBits is the protected payload: data + CRC.
+	PayloadBits = DataBits + CRCBits
+	// TotalBits includes the preamble.
+	TotalBits = 16 + PayloadBits
+)
+
+// Message is one downlink message: 48 bits of application data.
+type Message struct {
+	// Data holds the 48 data bits in the low bits (bit 47 transmitted
+	// first).
+	Data uint64
+}
+
+// ErrBadCRC is returned when a decoded message fails its checksum.
+var ErrBadCRC = errors.New("downlink: CRC mismatch")
+
+// ErrBadLength is returned when a bit slice has the wrong length.
+var ErrBadLength = errors.New("downlink: wrong payload bit count")
+
+// crc16 computes the CCITT CRC-16 over the 6 data bytes.
+func crc16(data uint64) uint16 {
+	var buf [6]byte
+	buf[0] = byte(data >> 40)
+	buf[1] = byte(data >> 32)
+	binary.BigEndian.PutUint32(buf[2:], uint32(data))
+	var crc uint16 = 0xffff
+	for _, b := range buf {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// NewMessage builds a message, masking data to 48 bits.
+func NewMessage(data uint64) Message {
+	return Message{Data: data & ((1 << DataBits) - 1)}
+}
+
+// PayloadBits returns the 64 protected bits: data (MSB first) followed by
+// the CRC.
+func (m Message) PayloadBits() []bool {
+	bits := make([]bool, 0, PayloadBits)
+	for i := DataBits - 1; i >= 0; i-- {
+		bits = append(bits, m.Data>>uint(i)&1 == 1)
+	}
+	crc := crc16(m.Data)
+	for i := CRCBits - 1; i >= 0; i-- {
+		bits = append(bits, crc>>uint(i)&1 == 1)
+	}
+	return bits
+}
+
+// Bits returns the full on-air bit sequence: preamble + payload + CRC.
+func (m Message) Bits() []bool {
+	return append(append([]bool(nil), tag.DownlinkPreamble...), m.PayloadBits()...)
+}
+
+// ParsePayload validates a decoded 64-bit payload (data+CRC) and returns
+// the message. It returns ErrBadLength for a wrong bit count and ErrBadCRC
+// when the checksum fails.
+func ParsePayload(bits []bool) (Message, error) {
+	if len(bits) != PayloadBits {
+		return Message{}, fmt.Errorf("%w: got %d, want %d", ErrBadLength, len(bits), PayloadBits)
+	}
+	var data uint64
+	for _, b := range bits[:DataBits] {
+		data <<= 1
+		if b {
+			data |= 1
+		}
+	}
+	var crc uint16
+	for _, b := range bits[DataBits:] {
+		crc <<= 1
+		if b {
+			crc |= 1
+		}
+	}
+	if crc != crc16(data) {
+		return Message{}, ErrBadCRC
+	}
+	return Message{Data: data}, nil
+}

@@ -1,0 +1,89 @@
+package downlink
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tag"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := NewMessage(0xABCDEF123456)
+	payload := m.PayloadBits()
+	if len(payload) != PayloadBits {
+		t.Fatalf("payload bits = %d, want %d", len(payload), PayloadBits)
+	}
+	got, err := ParsePayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data != m.Data {
+		t.Errorf("round trip: got %x, want %x", got.Data, m.Data)
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(data uint64) bool {
+		m := NewMessage(data)
+		got, err := ParsePayload(m.PayloadBits())
+		return err == nil && got.Data == data&((1<<DataBits)-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMessageMasksTo48Bits(t *testing.T) {
+	m := NewMessage(0xFFFFFFFFFFFFFFFF)
+	if m.Data != (1<<DataBits)-1 {
+		t.Errorf("data = %x, want 48 set bits", m.Data)
+	}
+}
+
+func TestParsePayloadDetectsCorruption(t *testing.T) {
+	m := NewMessage(0x123456789ABC)
+	payload := m.PayloadBits()
+	for _, flip := range []int{0, 17, 47, 48, 63} {
+		bad := append([]bool(nil), payload...)
+		bad[flip] = !bad[flip]
+		if _, err := ParsePayload(bad); !errors.Is(err, ErrBadCRC) {
+			t.Errorf("single-bit flip at %d not caught: %v", flip, err)
+		}
+	}
+}
+
+func TestParsePayloadLength(t *testing.T) {
+	if _, err := ParsePayload(make([]bool, 10)); !errors.Is(err, ErrBadLength) {
+		t.Errorf("short payload error = %v, want ErrBadLength", err)
+	}
+}
+
+func TestBitsIncludesPreamble(t *testing.T) {
+	m := NewMessage(42)
+	bits := m.Bits()
+	if len(bits) != TotalBits {
+		t.Fatalf("total bits = %d, want %d", len(bits), TotalBits)
+	}
+	for i, b := range tag.DownlinkPreamble {
+		if bits[i] != b {
+			t.Fatalf("preamble bit %d mismatch", i)
+		}
+	}
+}
+
+func TestCRCDistinguishesMessages(t *testing.T) {
+	if crc16(1) == crc16(2) {
+		t.Error("CRC collision on trivially different data")
+	}
+	if crc16(0) == crc16(1<<47) {
+		t.Error("CRC should cover the high data bits")
+	}
+}
+
+func TestMessageTimingClaim(t *testing.T) {
+	// §4.1: an 80-bit message at 50 µs/bit takes 4.0 ms.
+	if d := float64(TotalBits) * 50e-6; d != 0.004 {
+		t.Errorf("message airtime = %v, want 0.004", d)
+	}
+}

@@ -1,0 +1,88 @@
+package dsp
+
+import "fmt"
+
+// Barker13 is the 13-bit Barker code used as the Wi-Fi Backscatter uplink
+// preamble (§6 of the paper). Barker codes have ideal aperiodic
+// autocorrelation: off-peak sidelobes of magnitude at most 1.
+var Barker13 = []float64{+1, +1, +1, +1, +1, -1, -1, +1, +1, -1, +1, -1, +1}
+
+// Barker returns the Barker code of the given length as ±1 levels.
+// Valid lengths are 2, 3, 4, 5, 7, 11, and 13.
+func Barker(n int) ([]float64, error) {
+	codes := map[int][]float64{
+		2:  {+1, -1},
+		3:  {+1, +1, -1},
+		4:  {+1, +1, -1, +1},
+		5:  {+1, +1, +1, -1, +1},
+		7:  {+1, +1, +1, -1, -1, +1, -1},
+		11: {+1, +1, +1, -1, -1, -1, +1, -1, -1, +1, -1},
+		13: Barker13,
+	}
+	c, ok := codes[n]
+	if !ok {
+		return nil, fmt.Errorf("dsp: no Barker code of length %d", n)
+	}
+	return append([]float64(nil), c...), nil
+}
+
+// BarkerBits returns the 13-bit Barker preamble as a bit slice
+// (+1 -> true, -1 -> false), the form the tag modulator transmits.
+func BarkerBits() []bool {
+	bits := make([]bool, len(Barker13))
+	for i, v := range Barker13 {
+		bits[i] = v > 0
+	}
+	return bits
+}
+
+// WalshPair returns two orthogonal ±1 codes of length n, used by the
+// long-range uplink (§3.4) to represent the one and zero bits. n must be a
+// positive even number. code0 alternates every chip; code1 is code0 with
+// its second half negated. The pair has exactly zero dot product, and both
+// codes are (nearly) DC-free, which matters because the reader's signal
+// conditioning subtracts a moving average — a code with DC content would
+// be removed by its own conditioning.
+func WalshPair(n int) (code0, code1 []float64, err error) {
+	if n <= 0 || n%2 != 0 {
+		return nil, nil, fmt.Errorf("dsp: Walsh pair length must be positive and even, got %d", n)
+	}
+	code0 = make([]float64, n)
+	code1 = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			code0[i] = 1
+		} else {
+			code0[i] = -1
+		}
+		if i < n/2 {
+			code1[i] = code0[i]
+		} else {
+			code1[i] = -code0[i]
+		}
+	}
+	return code0, code1, nil
+}
+
+// DotProduct returns the inner product of equal-length vectors a and b.
+// It panics if the lengths differ.
+func DotProduct(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("dsp: DotProduct length mismatch %d != %d", len(a), len(b)))
+	}
+	var sum float64
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// CodeBits converts a ±1 chip code to the bit sequence the tag transmits
+// for it.
+func CodeBits(code []float64) []bool {
+	bits := make([]bool, len(code))
+	for i, v := range code {
+		bits[i] = v > 0
+	}
+	return bits
+}

@@ -1,0 +1,111 @@
+package dsp
+
+// This file implements the "signal conditioning" step from §3.2 of the
+// paper: removing slow temporal channel variation with a moving average and
+// normalizing the residual so tag bits map to ±1.
+
+// MovingAverage returns the centered moving average of xs with the given
+// window length. Near the edges the window shrinks to the available
+// samples, so the result has the same length as xs. A window <= 1 returns a
+// copy of xs.
+func MovingAverage(xs []float64, window int) []float64 {
+	out := make([]float64, len(xs))
+	if window <= 1 {
+		copy(out, xs)
+		return out
+	}
+	half := window / 2
+	// Prefix sums for O(n) windowed means.
+	prefix := make([]float64, len(xs)+1)
+	for i, x := range xs {
+		prefix[i+1] = prefix[i] + x
+	}
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half + 1
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		out[i] = (prefix[hi] - prefix[lo]) / float64(hi-lo)
+	}
+	return out
+}
+
+// RemoveTrend subtracts the centered moving average with the given window
+// from xs, producing a zero-mean residual that tracks only fast changes
+// (such as the tag's modulation). This is step 1 of the paper's signal
+// conditioning.
+func RemoveTrend(xs []float64, window int) []float64 {
+	avg := MovingAverage(xs, window)
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x - avg[i]
+	}
+	return out
+}
+
+// Normalize scales a zero-mean series so that the two modulation levels map
+// to approximately -1 and +1. Following §3.2, the scale is the mean of the
+// absolute values (which estimates the level magnitude without knowing the
+// transmitted bits). A series with zero mean absolute value is returned
+// as all zeros.
+func Normalize(xs []float64) []float64 {
+	scale := MeanAbs(xs)
+	out := make([]float64, len(xs))
+	if scale == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / scale
+	}
+	return out
+}
+
+// Condition applies the full signal-conditioning pipeline: moving-average
+// detrend followed by normalization. window is in samples (the paper uses
+// the samples spanning 400 ms of packets).
+func Condition(xs []float64, window int) []float64 {
+	return Normalize(RemoveTrend(xs, window))
+}
+
+// ConditionTwoPass is Condition with decision-directed baseline removal.
+// A plain moving average is biased wherever the modulated bits are locally
+// unbalanced (a run of ones drags the baseline up and crushes those very
+// bits toward zero). The second pass estimates the modulation from the
+// first pass's signs, subtracts it, and recomputes the baseline from the
+// modulation-free residue:
+//
+//	resid   = xs - MA(xs)                 (first pass)
+//	est     = sign(resid) · mean|resid|   (modulation estimate)
+//	baseline = MA(xs - est)               (unbiased second pass)
+//	out      = Normalize(xs - baseline)
+//
+// When the first pass's signs are noise (a weak link), est averages to
+// nothing and the result degrades gracefully to the single-pass Condition.
+// The estimate is refined over a few iterations, which matters near the
+// series edges where the centered window is asymmetric.
+func ConditionTwoPass(xs []float64, window int) []float64 {
+	resid := RemoveTrend(xs, window)
+	demod := make([]float64, len(xs))
+	for iter := 0; iter < 2; iter++ {
+		amp := MeanAbs(resid)
+		if amp == 0 {
+			break
+		}
+		for i, r := range resid {
+			if r >= 0 {
+				demod[i] = xs[i] - amp
+			} else {
+				demod[i] = xs[i] + amp
+			}
+		}
+		baseline := MovingAverage(demod, window)
+		for i := range xs {
+			resid[i] = xs[i] - baseline[i]
+		}
+	}
+	return Normalize(resid)
+}

@@ -1,0 +1,226 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMovingAverageConstantSeries(t *testing.T) {
+	xs := []float64{5, 5, 5, 5, 5}
+	got := MovingAverage(xs, 3)
+	for i, v := range got {
+		if v != 5 {
+			t.Errorf("MovingAverage of constant series at %d = %v, want 5", i, v)
+		}
+	}
+}
+
+func TestMovingAverageWindowOne(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	got := MovingAverage(xs, 1)
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Errorf("window 1 should copy input, got %v", got)
+		}
+	}
+	// Must be a copy, not the same backing array.
+	got[0] = 99
+	if xs[0] == 99 {
+		t.Error("MovingAverage(x, 1) aliases input")
+	}
+}
+
+func TestMovingAverageCentered(t *testing.T) {
+	xs := []float64{0, 0, 9, 0, 0}
+	got := MovingAverage(xs, 3)
+	want := []float64{0, 3, 3, 3, 0}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("MovingAverage[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRemoveTrendKillsSlowDrift(t *testing.T) {
+	// A slow linear drift with a fast ±1 square wave on top: detrending
+	// should leave approximately the square wave.
+	n := 400
+	xs := make([]float64, n)
+	for i := range xs {
+		drift := 0.001 * float64(i)
+		sq := 1.0
+		if (i/4)%2 == 1 {
+			sq = -1
+		}
+		xs[i] = 10 + drift + sq
+	}
+	resid := RemoveTrend(xs, 80)
+	// Interior residual mean should be ~0 and magnitude ~1.
+	inner := resid[50 : n-50]
+	if m := Mean(inner); math.Abs(m) > 0.05 {
+		t.Errorf("residual mean = %v, want ~0", m)
+	}
+	if ma := MeanAbs(inner); math.Abs(ma-1) > 0.1 {
+		t.Errorf("residual mean abs = %v, want ~1", ma)
+	}
+}
+
+func TestNormalizeMapsLevels(t *testing.T) {
+	xs := []float64{0.2, -0.2, 0.2, -0.2}
+	got := Normalize(xs)
+	want := []float64{1, -1, 1, -1}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeZeroSeries(t *testing.T) {
+	got := Normalize([]float64{0, 0, 0})
+	for _, v := range got {
+		if v != 0 {
+			t.Errorf("Normalize of zeros = %v", got)
+		}
+	}
+}
+
+func TestNormalizeUnitMeanAbsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e50 {
+				xs = append(xs, x)
+			}
+		}
+		out := Normalize(xs)
+		if MeanAbs(xs) == 0 {
+			return true
+		}
+		return almostEqual(MeanAbs(out), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConditionSquareWave(t *testing.T) {
+	// Square wave riding on a big offset: Condition should recover ±1.
+	n := 200
+	xs := make([]float64, n)
+	for i := range xs {
+		v := 100.0
+		if (i/5)%2 == 0 {
+			v += 0.3
+		} else {
+			v -= 0.3
+		}
+		xs[i] = v
+	}
+	out := Condition(xs, 40)
+	// Check interior samples are near ±1 with the right sign.
+	errs := 0
+	for i := 30; i < n-30; i++ {
+		want := 1.0
+		if (i/5)%2 == 1 {
+			want = -1
+		}
+		if math.Signbit(out[i]) != math.Signbit(want) {
+			errs++
+		}
+	}
+	if errs > 3 {
+		t.Errorf("Condition misrecovered %d interior samples", errs)
+	}
+}
+
+func TestMovingAverageLengthProperty(t *testing.T) {
+	f := func(xs []float64, w uint8) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+		}
+		return len(MovingAverage(xs, int(w))) == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConditionTwoPassUnbalancedRuns(t *testing.T) {
+	// A payload with long same-bit runs: the plain moving average
+	// crushes runs toward zero; the decision-directed pass must keep
+	// them near ±1.
+	n := 400
+	xs := make([]float64, n)
+	level := func(i int) float64 {
+		// 10-sample bits; bits 12..20 are a long run of ones.
+		bit := (i / 10) % 40
+		if bit >= 12 && bit <= 20 {
+			return 1
+		}
+		if bit%2 == 0 {
+			return 1
+		}
+		return 0
+	}
+	for i := range xs {
+		xs[i] = 10 + 0.5*level(i)
+	}
+	out := ConditionTwoPass(xs, 80)
+	// Samples inside the long run (bits 14..18, away from edges) must
+	// stay clearly positive.
+	bad := 0
+	for i := 145; i < 185; i++ {
+		if out[i] < 0.3 {
+			bad++
+		}
+	}
+	if bad > 4 {
+		t.Errorf("two-pass conditioning lost %d/40 long-run samples", bad)
+	}
+	// And single-pass should demonstrably struggle there (the reason the
+	// two-pass exists).
+	single := Condition(xs, 80)
+	worse := 0
+	for i := 145; i < 185; i++ {
+		if single[i] < 0.3 {
+			worse++
+		}
+	}
+	if worse <= bad {
+		t.Logf("single-pass run samples lost: %d, two-pass: %d", worse, bad)
+	}
+}
+
+func TestConditionTwoPassZeroSeries(t *testing.T) {
+	out := ConditionTwoPass([]float64{5, 5, 5, 5}, 2)
+	for _, v := range out {
+		if v != 0 {
+			t.Errorf("constant series should condition to zeros, got %v", out)
+		}
+	}
+}
+
+func TestConditionTwoPassMatchesSinglePassOnBalanced(t *testing.T) {
+	// For a perfectly balanced alternating signal both paths agree in
+	// sign everywhere.
+	n := 300
+	xs := make([]float64, n)
+	for i := range xs {
+		v := 10.0
+		if (i/5)%2 == 0 {
+			v += 0.4
+		}
+		xs[i] = v
+	}
+	a := Condition(xs, 60)
+	b := ConditionTwoPass(xs, 60)
+	for i := 30; i < n-30; i++ {
+		if (a[i] > 0) != (b[i] > 0) {
+			t.Fatalf("sign disagreement at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package dsp
+
+// This file implements the bit-decision primitives from §3.2: majority
+// voting over the measurements that make up one bit, and the hysteresis
+// comparator that suppresses the Intel cards' spurious CSI jumps.
+
+// MajorityVote returns true when more than half of the samples are
+// positive. Ties (possible with an even count of nonzero votes) resolve to
+// false, matching a conservative zero-threshold. Zero-valued samples count
+// as negative votes.
+func MajorityVote(samples []float64) bool {
+	pos := 0
+	for _, s := range samples {
+		if s > 0 {
+			pos++
+		}
+	}
+	return pos*2 > len(samples)
+}
+
+// VoteBit applies a symmetric threshold vote: samples above +thresh count
+// for one, below -thresh count for zero, and samples inside the dead zone
+// abstain. It returns the winning bit and whether any votes were cast.
+func VoteBit(samples []float64, thresh float64) (bit, ok bool) {
+	ones, zeros := 0, 0
+	for _, s := range samples {
+		switch {
+		case s > thresh:
+			ones++
+		case s < -thresh:
+			zeros++
+		}
+	}
+	if ones == 0 && zeros == 0 {
+		return false, false
+	}
+	return ones >= zeros, true
+}
+
+// Hysteresis is a two-threshold comparator (§3.2): the output switches to
+// one only when the input exceeds High and to zero only when it drops below
+// Low; between the thresholds the previous output holds. This filters the
+// spurious single-sample CSI jumps that the Intel cards report.
+type Hysteresis struct {
+	Low, High float64
+	state     bool
+	primed    bool
+}
+
+// NewHysteresis builds a comparator with thresholds derived from the
+// measurement statistics as in the paper: mean ± stddev/2.
+func NewHysteresis(mean, stddev float64) *Hysteresis {
+	return &Hysteresis{Low: mean - stddev/2, High: mean + stddev/2}
+}
+
+// Update feeds one sample and returns the current output bit. Before the
+// input has crossed either threshold the output is the sign of the sample
+// relative to the midpoint.
+func (h *Hysteresis) Update(x float64) bool {
+	switch {
+	case x > h.High:
+		h.state = true
+		h.primed = true
+	case x < h.Low:
+		h.state = false
+		h.primed = true
+	case !h.primed:
+		h.state = x > (h.Low+h.High)/2
+	}
+	return h.state
+}
+
+// Reset clears the comparator state.
+func (h *Hysteresis) Reset() { h.state, h.primed = false, false }
+
+// Apply runs the comparator across a series, returning one output per
+// sample.
+func (h *Hysteresis) Apply(xs []float64) []bool {
+	out := make([]bool, len(xs))
+	for i, x := range xs {
+		out[i] = h.Update(x)
+	}
+	return out
+}

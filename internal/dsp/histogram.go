@@ -1,0 +1,105 @@
+package dsp
+
+import "fmt"
+
+// Histogram is a fixed-bin histogram over a closed interval, used to build
+// the PDF of normalized channel values (Fig. 4 of the paper).
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	total    int
+	below    int
+	above    int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins spanning
+// [min, max]. It returns an error when the interval or bin count is
+// degenerate.
+func NewHistogram(min, max float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("dsp: histogram needs at least one bin, got %d", bins)
+	}
+	if !(max > min) {
+		return nil, fmt.Errorf("dsp: histogram interval [%v, %v] is empty", min, max)
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation. Values outside [Min, Max] are tallied as
+// underflow/overflow and excluded from the in-range bins.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	if x < h.Min {
+		h.below++
+		return
+	}
+	if x > h.Max {
+		h.above++
+		return
+	}
+	i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+	if i == len(h.Counts) { // x == Max lands in the last bin
+		i--
+	}
+	h.Counts[i]++
+}
+
+// AddAll records every value in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of observations recorded, including out-of-range
+// ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Outliers returns the underflow and overflow counts.
+func (h *Histogram) Outliers() (below, above int) { return h.below, h.above }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Max - h.Min) / float64(len(h.Counts))
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Min + (float64(i)+0.5)*h.BinWidth()
+}
+
+// PDF returns the probability density estimate per bin: the fraction of
+// in-range mass in each bin divided by the bin width, so the densities
+// integrate to the in-range probability. An empty histogram yields zeros.
+func (h *Histogram) PDF() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	w := h.BinWidth()
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total) / w
+	}
+	return out
+}
+
+// Modes returns the indices of local maxima in the PDF whose density is at
+// least minDensity, in ascending bin order. A bin is a local maximum when
+// it is strictly greater than at least one neighbor and no neighbor
+// exceeds it. Used to detect the two Gaussian lobes at ±1 in Fig. 4.
+func (h *Histogram) Modes(minDensity float64) []int {
+	pdf := h.PDF()
+	var modes []int
+	for i, d := range pdf {
+		if d < minDensity {
+			continue
+		}
+		left := i == 0 || pdf[i-1] <= d
+		right := i == len(pdf)-1 || pdf[i+1] <= d
+		strict := (i > 0 && pdf[i-1] < d) || (i < len(pdf)-1 && pdf[i+1] < d)
+		if left && right && strict {
+			modes = append(modes, i)
+		}
+	}
+	return modes
+}

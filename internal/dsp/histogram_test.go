@@ -1,0 +1,120 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(-3, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{-2.5, -1.5, -0.5, 0.5, 1.5, 2.5})
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bin %d count = %d, want 1", i, c)
+		}
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	h.Add(0)   // first bin
+	h.Add(1)   // max value lands in last bin
+	h.Add(-1)  // underflow
+	h.Add(1.5) // overflow
+	if h.Counts[0] != 1 {
+		t.Errorf("min value should land in bin 0, counts = %v", h.Counts)
+	}
+	if h.Counts[3] != 1 {
+		t.Errorf("max value should land in last bin, counts = %v", h.Counts)
+	}
+	below, above := h.Outliers()
+	if below != 1 || above != 1 {
+		t.Errorf("Outliers = (%d, %d), want (1, 1)", below, above)
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d, want 4", h.Total())
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(1, 1, 5); err == nil {
+		t.Error("empty interval should error")
+	}
+	if _, err := NewHistogram(2, 1, 5); err == nil {
+		t.Error("inverted interval should error")
+	}
+}
+
+func TestHistogramPDFIntegratesToOne(t *testing.T) {
+	h, _ := NewHistogram(-3, 3, 60)
+	for i := 0; i < 10_000; i++ {
+		h.Add(-3 + 6*float64(i)/10_000)
+	}
+	pdf := h.PDF()
+	var integral float64
+	for _, d := range pdf {
+		integral += d * h.BinWidth()
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Errorf("PDF integral = %v, want 1", integral)
+	}
+}
+
+func TestHistogramPDFEmpty(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 3)
+	for _, d := range h.PDF() {
+		if d != 0 {
+			t.Errorf("empty histogram PDF = %v", h.PDF())
+		}
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Errorf("BinCenter(4) = %v, want 9", got)
+	}
+}
+
+func TestHistogramModesBimodal(t *testing.T) {
+	// Two clusters around -1 and +1 should produce two modes.
+	h, _ := NewHistogram(-3, 3, 30)
+	for i := 0; i < 1000; i++ {
+		jitter := 0.2 * math.Sin(float64(i))
+		h.Add(-1 + jitter)
+		h.Add(1 + jitter)
+	}
+	modes := h.Modes(0.05)
+	if len(modes) < 2 {
+		t.Fatalf("bimodal histogram found %d modes, want >= 2", len(modes))
+	}
+	c0, c1 := h.BinCenter(modes[0]), h.BinCenter(modes[len(modes)-1])
+	if math.Abs(c0+1) > 0.5 || math.Abs(c1-1) > 0.5 {
+		t.Errorf("mode centers = %v, %v, want ~-1 and ~+1", c0, c1)
+	}
+}
+
+func TestHistogramModesUnimodal(t *testing.T) {
+	h, _ := NewHistogram(-3, 3, 30)
+	for i := 0; i < 1000; i++ {
+		h.Add(0.3 * math.Sin(float64(i)))
+	}
+	modes := h.Modes(0.05)
+	for _, m := range modes {
+		if math.Abs(h.BinCenter(m)) > 0.6 {
+			t.Errorf("unimodal histogram found far mode at %v", h.BinCenter(m))
+		}
+	}
+}

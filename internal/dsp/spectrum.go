@@ -1,0 +1,99 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Spectral utilities used to validate the channel model (coherence
+// bandwidth, power-delay profile) and to characterize measurement series.
+// The DFT is the textbook O(n²) transform: series here are at most a few
+// thousand points, and zero dependencies beat speed.
+
+// DFT returns the discrete Fourier transform of xs.
+func DFT(xs []complex128) []complex128 {
+	n := len(xs)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t, x := range xs {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x * cmplx.Rect(1, angle)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// IDFT returns the inverse transform.
+func IDFT(xs []complex128) []complex128 {
+	n := len(xs)
+	out := make([]complex128, n)
+	for t := 0; t < n; t++ {
+		var sum complex128
+		for k, x := range xs {
+			angle := 2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x * cmplx.Rect(1, angle)
+		}
+		out[t] = sum / complex(float64(n), 0)
+	}
+	return out
+}
+
+// PowerSpectrum returns |DFT|² of a real series with its mean removed —
+// the periodogram used to inspect modulation structure in a CSI series.
+func PowerSpectrum(xs []float64) []float64 {
+	m := Mean(xs)
+	cx := make([]complex128, len(xs))
+	for i, x := range xs {
+		cx[i] = complex(x-m, 0)
+	}
+	spec := DFT(cx)
+	out := make([]float64, len(spec))
+	for i, s := range spec {
+		out[i] = real(s)*real(s) + imag(s)*imag(s)
+	}
+	return out
+}
+
+// FrequencyCorrelation returns the normalized correlation of a frequency
+// response h with a copy of itself shifted by lag bins — the frequency
+// autocorrelation whose width is the coherence bandwidth. It returns an
+// error when the lag leaves no overlap.
+func FrequencyCorrelation(h []complex128, lag int) (float64, error) {
+	if lag < 0 {
+		lag = -lag
+	}
+	if lag >= len(h) {
+		return 0, fmt.Errorf("dsp: lag %d exceeds response length %d", lag, len(h))
+	}
+	var num complex128
+	var pa, pb float64
+	for i := 0; i+lag < len(h); i++ {
+		a, b := h[i], h[i+lag]
+		num += a * cmplx.Conj(b)
+		pa += real(a)*real(a) + imag(a)*imag(a)
+		pb += real(b)*real(b) + imag(b)*imag(b)
+	}
+	if pa == 0 || pb == 0 {
+		return 0, nil
+	}
+	return cmplx.Abs(num) / math.Sqrt(pa*pb), nil
+}
+
+// CoherenceBandwidthBins returns the smallest lag (in bins) at which the
+// frequency autocorrelation falls below the threshold, or len(h) when it
+// never does.
+func CoherenceBandwidthBins(h []complex128, threshold float64) int {
+	for lag := 1; lag < len(h); lag++ {
+		c, err := FrequencyCorrelation(h, lag)
+		if err != nil {
+			break
+		}
+		if c < threshold {
+			return lag
+		}
+	}
+	return len(h)
+}

@@ -1,0 +1,127 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestDFTKnownTone(t *testing.T) {
+	// A pure complex tone at bin 3 concentrates all energy there.
+	n := 32
+	xs := make([]complex128, n)
+	for i := range xs {
+		xs[i] = cmplx.Rect(1, 2*math.Pi*3*float64(i)/float64(n))
+	}
+	spec := DFT(xs)
+	for k, s := range spec {
+		mag := cmplx.Abs(s)
+		if k == 3 {
+			if math.Abs(mag-float64(n)) > 1e-9 {
+				t.Errorf("bin 3 magnitude = %v, want %d", mag, n)
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("bin %d magnitude = %v, want 0", k, mag)
+		}
+	}
+}
+
+func TestDFTIDFTRoundTrip(t *testing.T) {
+	xs := []complex128{1, 2i, -3, 4 - 1i, 0.5, -2i, 7, 1 + 1i}
+	back := IDFT(DFT(xs))
+	for i := range xs {
+		if cmplx.Abs(back[i]-xs[i]) > 1e-9 {
+			t.Fatalf("round trip failed at %d: %v vs %v", i, back[i], xs[i])
+		}
+	}
+}
+
+func TestDFTParseval(t *testing.T) {
+	xs := []complex128{1, -1, 2, 0.5, -0.25, 3, -2, 1i}
+	var timeE float64
+	for _, x := range xs {
+		timeE += real(x)*real(x) + imag(x)*imag(x)
+	}
+	var freqE float64
+	for _, s := range DFT(xs) {
+		freqE += real(s)*real(s) + imag(s)*imag(s)
+	}
+	if math.Abs(freqE/float64(len(xs))-timeE) > 1e-9 {
+		t.Errorf("Parseval violated: time %v, freq/n %v", timeE, freqE/float64(len(xs)))
+	}
+}
+
+func TestPowerSpectrumFindsModulation(t *testing.T) {
+	// A ±1 square wave with period 8 puts its fundamental at bin n/8.
+	n := 64
+	xs := make([]float64, n)
+	for i := range xs {
+		if (i/4)%2 == 0 {
+			xs[i] = 1
+		} else {
+			xs[i] = -1
+		}
+	}
+	spec := PowerSpectrum(xs)
+	peak := ArgMax(spec[1 : n/2])
+	if peak+1 != n/8 {
+		t.Errorf("fundamental at bin %d, want %d", peak+1, n/8)
+	}
+}
+
+func TestFrequencyCorrelationFlatChannel(t *testing.T) {
+	// A frequency-flat response stays perfectly correlated at any lag.
+	h := make([]complex128, 30)
+	for i := range h {
+		h[i] = 2 - 1i
+	}
+	for _, lag := range []int{1, 5, 20} {
+		c, err := FrequencyCorrelation(h, lag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(c-1) > 1e-9 {
+			t.Errorf("flat channel correlation at lag %d = %v, want 1", lag, c)
+		}
+	}
+}
+
+func TestFrequencyCorrelationErrors(t *testing.T) {
+	h := make([]complex128, 4)
+	if _, err := FrequencyCorrelation(h, 4); err == nil {
+		t.Error("full-length lag should error")
+	}
+	if c, err := FrequencyCorrelation(h, 1); err != nil || c != 0 {
+		t.Errorf("zero-energy response should correlate to 0, got (%v, %v)", c, err)
+	}
+	// Negative lags mirror positive ones.
+	for i := range h {
+		h[i] = complex(float64(i+1), 0)
+	}
+	a, _ := FrequencyCorrelation(h, 1)
+	b, _ := FrequencyCorrelation(h, -1)
+	if a != b {
+		t.Errorf("lag sign should not matter: %v vs %v", a, b)
+	}
+}
+
+func TestCoherenceBandwidthSelectiveChannel(t *testing.T) {
+	// A two-tap channel h(f) = 1 + exp(-j2πfτ) decorrelates within the
+	// span; a flat channel never does.
+	n := 64
+	sel := make([]complex128, n)
+	flat := make([]complex128, n)
+	for i := range sel {
+		phase := -2 * math.Pi * float64(i) / 8 // delay = span/8
+		sel[i] = 1 + cmplx.Rect(1, phase)
+		flat[i] = 1
+	}
+	bSel := CoherenceBandwidthBins(sel, 0.7)
+	bFlat := CoherenceBandwidthBins(flat, 0.7)
+	if bSel >= n {
+		t.Error("selective channel should decorrelate within the span")
+	}
+	if bFlat != n {
+		t.Errorf("flat channel should never decorrelate, got %d", bFlat)
+	}
+}

@@ -1,0 +1,163 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/tag"
+	"repro/internal/units"
+	"repro/internal/wifi"
+)
+
+// Fig17Distances are the downlink sweep distances in meters.
+var Fig17Distances = []float64{0.25, 0.5, 1.0, 1.5, 2.0, 2.13, 2.5, 2.9, 3.2, 3.5}
+
+// Fig17BitDurations are the packet/silence slot lengths (50, 100, 200 µs →
+// 20, 10, 5 kbps).
+var Fig17BitDurations = []float64{50e-6, 100e-6, 200e-6}
+
+// DownlinkBER reproduces Fig. 17: downlink BER vs distance for the three
+// bit rates. bitsPerPoint scales the run (the paper transmits 200 kilobits
+// per point).
+func DownlinkBER(bitsPerPoint int, seed int64) (*Table, error) {
+	if bitsPerPoint <= 0 {
+		bitsPerPoint = 200_000
+	}
+	t := &Table{
+		Title: "Figure 17: downlink BER vs distance",
+		Note: "paper: 20 kbps reaches ~2.13 m and 10 kbps ~2.90 m at BER 1e-2 " +
+			"(+16 dBm reader); lower rates reach farther",
+		Columns: []string{"distance", "20 kbps", "10 kbps", "5 kbps"},
+	}
+	for _, m := range Fig17Distances {
+		row := []string{fmt.Sprintf("%.2f m", m)}
+		for _, bd := range Fig17BitDurations {
+			errs, err := core.DownlinkBERTrial(units.Meters(m), 16, bd, bitsPerPoint,
+				seed+int64(m*1000)+int64(bd*1e7))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtBER(errs, bitsPerPoint))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// FalsePositives reproduces Fig. 18: the rate at which ordinary Wi-Fi
+// traffic spuriously matches the downlink preamble and wakes the tag's
+// microcontroller. The tag sits 30 cm from an AP streaming music to a
+// client (the paper streams Pandora); hoursSimulated scales the run.
+func FalsePositives(hoursSimulated float64, seed int64) (*Table, error) {
+	if hoursSimulated <= 0 {
+		hoursSimulated = 0.25
+	}
+	t := &Table{
+		Title: "Figure 18: downlink false positives per hour",
+		Note: "paper: fewer than 30 events/hour across the day — normal traffic " +
+			"rarely imitates the preamble's structure; our digital " +
+			"run-length matcher is stricter than the analog prototype's, so " +
+			"the measured rate here is near zero (the claim holds " +
+			"conservatively)",
+		Columns: []string{"time of day", "traffic pkt/s", "false positives/hour"},
+	}
+	for _, hour := range []float64{10, 12, 14, 16, 18} {
+		load := wifi.OfficeLoad(hour)
+		matches, pkts, err := falsePositiveRun(load, hoursSimulated*3600, seed+int64(hour))
+		if err != nil {
+			return nil, err
+		}
+		perHour := float64(matches) / hoursSimulated
+		t.AddRow(fmt.Sprintf("%02.0f:00", hour),
+			fmt.Sprintf("%.0f", float64(pkts)/(hoursSimulated*3600)),
+			fmt.Sprintf("%.1f", perHour))
+	}
+	return t, nil
+}
+
+// falsePositiveRun simulates traffic for the given duration and counts
+// preamble matches at the tag's edge detector. It builds a bare medium
+// (no channel measurements are needed, only packet timing). Consecutive
+// transmissions separated by less than the circuit's discharge window
+// merge into one energy burst.
+func falsePositiveRun(load float64, seconds float64, seed int64) (matches, pkts int, err error) {
+	rnd := rng.New(seed)
+	eng := sim.NewEngine()
+	medium := wifi.NewMedium(eng, rnd.Split("medium"))
+	ap := medium.AddStation("ap", wifi.MAC{1}, wifi.Rate54)
+	client := medium.AddStation("client", wifi.MAC{2}, wifi.Rate54)
+	// Streaming traffic: bursty, heavy-tailed media frames from the AP,
+	// a closed-loop TCP download whose self-clocked ACKs are the short
+	// packets (~36 µs airtime) that land in the preamble's band, and
+	// background office chatter.
+	(&wifi.BurstySource{
+		Station: ap, Dst: wifi.MAC{2}, Payload: 600,
+		MeanBurst: 12, MeanGap: 0.08, InBurstInterval: 0.0008,
+		Rnd: rnd.Split("stream"),
+	}).Start()
+	(&wifi.TCPSource{
+		Sender: ap, Receiver: client, Rnd: rnd.Split("tcp"),
+		// Streaming-like pacing: a modest window over a wired RTT, so
+		// the flow contributes a few hundred packets/s rather than
+		// saturating the medium.
+		MaxWindow: 8, ServerRTT: 0.03,
+	}).Start()
+	if load > 100 {
+		(&wifi.PoissonSource{
+			Station: client, Dst: wifi.MAC{1}, Payload: 300,
+			Rate: load - 100, Rnd: rnd.Split("office"),
+		}).Start()
+	}
+	dec, err := tag.NewDecoder(50e-6)
+	if err != nil {
+		return 0, 0, err
+	}
+	// The comparator output follows packet energy: ON during any
+	// transmission, OFF in gaps longer than the discharge window.
+	const mergeGap = 20e-6
+	var lastEnd float64
+	var on bool
+	medium.AddListener(func(tx *wifi.Transmission) {
+		pkts++
+		if tx.Start > lastEnd+mergeGap {
+			if on {
+				if dec.OnEdge(lastEnd, false) {
+					matches++
+				}
+			}
+			if dec.OnEdge(tx.Start, true) {
+				matches++
+			}
+			on = true
+		}
+		if tx.End > lastEnd {
+			lastEnd = tx.End
+		}
+	})
+	eng.Run(seconds)
+	return matches, pkts, nil
+}
+
+// PowerBudget reproduces the §6 power numbers: circuit loads, harvesting
+// at one foot from the reader, and the TV-assisted duty cycle at 10 km.
+func PowerBudget() *Table {
+	h := tag.DefaultHarvester()
+	t := &Table{
+		Title: "Section 6: tag power budget",
+		Note: "paper: tx 0.65 µW, rx 9.0 µW; continuous operation at 1 ft from " +
+			"the reader; ~50% duty cycle at 10 km from a TV tower",
+		Columns: []string{"quantity", "value"},
+	}
+	t.AddRow("transmit circuit", fmt.Sprintf("%.2f µW", tag.TransmitPowerMicrowatt))
+	t.AddRow("receive circuit", fmt.Sprintf("%.2f µW", tag.ReceivePowerMicrowatt))
+	t.AddRow("total always-on load", fmt.Sprintf("%.2f µW", tag.CircuitLoadMicrowatt))
+	oneFoot := h.WiFiHarvest(16, 0.3048)
+	t.AddRow("Wi-Fi harvest at 1 ft", fmt.Sprintf("%.2f µW", float64(oneFoot)))
+	t.AddRow("continuous at 1 ft", fmt.Sprintf("%v", float64(oneFoot) >= tag.CircuitLoadMicrowatt))
+	tv := h.TVHarvest(10_000)
+	t.AddRow("TV harvest at 10 km", fmt.Sprintf("%.2f µW", float64(tv)))
+	t.AddRow("duty cycle at 10 km", fmt.Sprintf("%.0f%%", 100*tag.DutyCycle(tv, tag.CircuitLoadMicrowatt)))
+	return t
+}

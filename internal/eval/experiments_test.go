@@ -1,0 +1,524 @@
+package eval
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// quickOpt keeps experiment tests fast while exercising the full paths.
+var quickOpt = Options{Seed: 42, Trials: 2, PayloadLen: 45}
+
+// berCell parses a table BER cell ("1.2e-03" or "<5.0e-04").
+func berCell(t *testing.T, cell string) float64 {
+	t.Helper()
+	cell = strings.TrimPrefix(cell, "<")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("unparseable BER cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestUplinkBERvsDistanceShape(t *testing.T) {
+	tab, err := UplinkBERvsDistance(core.DecodeCSI, quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(Fig10Distances) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(Fig10Distances))
+	}
+	// Near point at 30 pkt/bit must be clean; far 3 pkt/bit must be
+	// worse than near 3 pkt/bit.
+	// The 30 pkt/bit configuration has a small residual floor from long
+	// same-bit runs interacting with the conditioning window (the paper's
+	// 5 cm points sit at ~5e-4..1e-3 rather than zero for the same
+	// reason); with 2 quick trials allow a generous band.
+	near30 := berCell(t, tab.Rows[0][1])
+	if near30 > 8e-2 {
+		t.Errorf("5 cm, 30 pkt/bit BER = %v", near30)
+	}
+	near3 := berCell(t, tab.Rows[0][3])
+	far3 := berCell(t, tab.Rows[len(tab.Rows)-1][3])
+	if far3 < near3 {
+		t.Errorf("BER should rise with distance: near %v, far %v", near3, far3)
+	}
+}
+
+func TestFrequencyDiversityShape(t *testing.T) {
+	tab, err := FrequencyDiversity(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum BERs across distances: combining must beat random.
+	var ours, rnd float64
+	for _, row := range tab.Rows {
+		ours += berCell(t, row[1])
+		rnd += berCell(t, row[2])
+	}
+	if ours >= rnd {
+		t.Errorf("diversity combining (%v) should beat random sub-channel (%v)", ours, rnd)
+	}
+}
+
+func TestRateVsHelperRateMonotone(t *testing.T) {
+	tab, err := RateVsHelperRate(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(cell string) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(cell, " bps"), 64)
+		return v
+	}
+	first := parse(tab.Rows[0][1])
+	last := parse(tab.Rows[len(tab.Rows)-1][1])
+	if last < first {
+		t.Errorf("achievable rate should grow with helper rate: %v -> %v", first, last)
+	}
+	if last < 500 {
+		t.Errorf("achievable rate at 3070 pkt/s = %v, want >= 500", last)
+	}
+	// The simulated 5 cm link is slightly cleaner than the hardware's,
+	// so the low-traffic point lands one rate notch above the paper's
+	// 100 bps; the shape (rate tracking helper traffic) is what matters.
+	if first > 200 {
+		t.Errorf("achievable rate at 240 pkt/s = %v, want <= 200", first)
+	}
+}
+
+func TestGoodSubchannelsVaries(t *testing.T) {
+	tab, err := GoodSubchannels(Options{Seed: 7, Trials: 1, PayloadLen: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near distances should have plenty of good sub-channels, and the
+	// sets should differ across distances.
+	if tab.Rows[0][1] == "-" {
+		t.Error("no good sub-channels at 5 cm")
+	}
+	distinct := map[string]bool{}
+	for _, row := range tab.Rows {
+		distinct[row[1]] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("good sub-channel sets should vary with distance, got %d distinct", len(distinct))
+	}
+}
+
+func TestRawCSITraceLevels(t *testing.T) {
+	trace, tab, err := RawCSITrace(units.Centimeters(5), 2000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	found := false
+	for _, row := range tab.Rows {
+		if row[0] == "distinct levels" && row[1] == "true" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("5 cm trace should show distinct levels:\n%s", tab)
+	}
+	_, tabFar, err := RawCSITrace(1.0, 2000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tabFar.Rows {
+		if row[0] == "distinct levels" && row[1] == "true" {
+			t.Errorf("1 m trace should not show distinct levels:\n%s", tabFar)
+		}
+	}
+}
+
+func TestNormalizedPDFBimodalShare(t *testing.T) {
+	tab, err := NormalizedPDF(8000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	for _, row := range tab.Rows {
+		if row[0] == "sub-channels with ±1 lobes" {
+			_, err := fmtSscan(row[1], &count)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Paper: ~30% of sub-channels show the two-Gaussian structure. Our
+	// simulated 5 cm link is cleaner, so the share is higher; the claim
+	// under test is that the structure exists along with cross-channel
+	// diversity in the noise spread.
+	if count < 8 {
+		t.Errorf("bimodal sub-channels = %d, want >= 8", count)
+	}
+	var spreadMin, spreadMax float64
+	for _, row := range tab.Rows {
+		if row[0] == "spread (min)" {
+			spreadMin, _ = strconv.ParseFloat(row[1], 64)
+		}
+		if row[0] == "spread (max)" {
+			spreadMax, _ = strconv.ParseFloat(row[1], 64)
+		}
+	}
+	if spreadMax <= 1.05*spreadMin {
+		t.Errorf("noise spread should vary across sub-channels: min %v, max %v", spreadMin, spreadMax)
+	}
+}
+
+func fmtSscan(s string, out *int) (int, error) {
+	var rest string
+	n, err := sscan(s, out, &rest)
+	return n, err
+}
+
+func sscan(s string, out *int, rest *string) (int, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, err
+	}
+	*out = v
+	*rest = strings.Join(fields[1:], " ")
+	return 1, nil
+}
+
+func TestCorrelationRangeMonotone(t *testing.T) {
+	opt := Options{Seed: 5, Trials: 2, PayloadLen: 12}
+	tab, err := CorrelationRange(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The nearest distance must need a shorter (or equal) code than the
+	// farthest.
+	parse := func(cell string) int {
+		if strings.HasPrefix(cell, ">") {
+			return 1 << 20
+		}
+		v, _ := strconv.Atoi(cell)
+		return v
+	}
+	near := parse(tab.Rows[0][1])
+	far := parse(tab.Rows[len(tab.Rows)-1][1])
+	if near == 0 {
+		t.Error("no code length worked at 80 cm")
+	}
+	if far < near {
+		t.Errorf("required code length should grow with distance: %d -> %d", near, far)
+	}
+}
+
+func TestHelperLocationsHighDelivery(t *testing.T) {
+	tab, err := HelperLocations(Options{Seed: 3, Trials: 3, PayloadLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		p, _ := strconv.ParseFloat(row[3], 64)
+		if p < 0.5 {
+			t.Errorf("location %s delivery = %v, want high", row[0], p)
+		}
+	}
+}
+
+func TestAmbientTrafficTracksLoad(t *testing.T) {
+	tab, err := AmbientTraffic(Options{Seed: 4, Trials: 1, PayloadLen: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(cell string) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(cell, " bps"), 64)
+		return v
+	}
+	// Peak hour (14:00) should achieve at least the evening rate.
+	var peak, evening float64
+	for _, row := range tab.Rows {
+		if row[0] == "14:00" {
+			peak = parse(row[2])
+		}
+		if row[0] == "20:00" {
+			evening = parse(row[2])
+		}
+	}
+	if peak < evening {
+		t.Errorf("peak rate %v below evening rate %v", peak, evening)
+	}
+	if peak < 100 {
+		t.Errorf("peak achievable rate = %v, want >= 100 bps", peak)
+	}
+}
+
+func TestBeaconOnlyGrowsWithBeaconRate(t *testing.T) {
+	tab, err := BeaconOnly(Options{Seed: 6, Trials: 1, PayloadLen: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(cell string) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(cell, " bps"), 64)
+		return v
+	}
+	lo := parse(tab.Rows[0][1])
+	hi := parse(tab.Rows[len(tab.Rows)-1][1])
+	if hi < lo {
+		t.Errorf("achievable rate should grow with beacon rate: %v -> %v", lo, hi)
+	}
+	if hi < 20 {
+		t.Errorf("rate at 70 beacons/s = %v, want >= 20 bps", hi)
+	}
+}
+
+func TestDownlinkBERShape(t *testing.T) {
+	tab, err := DownlinkBER(3000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near clean, far dirty, and slower rates no worse at range.
+	near20k := berCell(t, tab.Rows[0][1])
+	if near20k > 1e-2 {
+		t.Errorf("0.25 m 20 kbps BER = %v", near20k)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	far20k := berCell(t, last[1])
+	far5k := berCell(t, last[3])
+	if far20k < 1e-2 {
+		t.Errorf("3.5 m 20 kbps BER = %v, should be degraded", far20k)
+	}
+	if far5k > far20k {
+		t.Errorf("5 kbps (%v) should be no worse than 20 kbps (%v) at 3.5 m", far5k, far20k)
+	}
+}
+
+func TestFalsePositivesLow(t *testing.T) {
+	tab, err := FalsePositives(0.02, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		rate, _ := strconv.ParseFloat(row[2], 64)
+		if rate > 200 {
+			t.Errorf("false positives at %s = %v/hour, far above the paper's <30", row[0], rate)
+		}
+	}
+}
+
+func TestWiFiImpactWithinVariance(t *testing.T) {
+	tab, err := WiFiImpact(units.Centimeters(5), 20, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(cell string) (mean, std float64) {
+		parts := strings.Split(strings.TrimSuffix(cell, " MB/s"), "±")
+		mean, _ = strconv.ParseFloat(parts[0], 64)
+		std, _ = strconv.ParseFloat(parts[1], 64)
+		return mean, std
+	}
+	for _, row := range tab.Rows {
+		base, baseStd := parse(row[1])
+		if base <= 0 {
+			t.Fatalf("location %s baseline throughput = %v", row[0], base)
+		}
+		for i := 2; i < 4; i++ {
+			mod, modStd := parse(row[i])
+			if diff := abs(mod - base); diff > 3*(baseStd+modStd)+0.3*base {
+				t.Errorf("location %s: tag modulation moved throughput %v -> %v (beyond variance)",
+					row[0], base, mod)
+			}
+		}
+	}
+	// Throughput should fall with worse locations (2 vs 4).
+	t2, _ := parse(tab.Rows[0][1])
+	t4, _ := parse(tab.Rows[2][1])
+	if t4 >= t2 {
+		t.Errorf("location 4 throughput (%v) should be below location 2 (%v)", t4, t2)
+	}
+}
+
+func TestPowerBudgetTable(t *testing.T) {
+	tab := PowerBudget()
+	text := tab.String()
+	for _, want := range []string{"0.65 µW", "9.00 µW", "9.65 µW", "continuous at 1 ft", "true"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("power budget missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSuiteQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite smoke test is slow")
+	}
+	s := Suite{Seed: 1, Quick: true}
+	var out strings.Builder
+	// Run a representative subset end to end.
+	err := s.Run(&out, map[string]bool{"fig3": true, "fig16": true, "power": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 3", "Figure 16", "Section 6"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("suite output missing %q", want)
+		}
+	}
+}
+
+func TestSuiteExperimentListComplete(t *testing.T) {
+	s := Suite{Seed: 1, Quick: true}
+	ids := map[string]bool{}
+	for _, e := range s.Experiments() {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig3", "fig4", "fig5", "fig6", "fig10a", "fig10b",
+		"fig11", "fig12", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19a", "fig19b", "fig20", "power", "abl-combine", "abl-decide",
+		"abl-bin", "abl-thresh", "inventory", "channels", "ack", "duty", "mac"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing from the suite", want)
+		}
+	}
+}
+
+func TestCombiningAblationOrdering(t *testing.T) {
+	tab, err := CombiningAblation(Options{Seed: 21, Trials: 3, PayloadLen: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Across the sweep, MRC must not lose to best-single (individual
+	// rows are too small-sample to compare alone).
+	var mrc, single float64
+	for _, row := range tab.Rows {
+		mrc += berCell(t, row[1])
+		single += berCell(t, row[3])
+	}
+	if mrc > single*1.5 {
+		t.Errorf("MRC (%v) lost to best-single (%v) across the sweep", mrc, single)
+	}
+}
+
+func TestBinningAblationOrdering(t *testing.T) {
+	tab, err := BinningAblation(Options{Seed: 22, Trials: 3, PayloadLen: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts, eq float64
+	for _, row := range tab.Rows {
+		ts += berCell(t, row[1])
+		eq += berCell(t, row[2])
+	}
+	if ts > eq {
+		t.Errorf("timestamp binning (%v) lost to equal-count (%v) under bursts", ts, eq)
+	}
+}
+
+func TestDecisionAblationRuns(t *testing.T) {
+	tab, err := DecisionAblation(Options{Seed: 23, Trials: 2, PayloadLen: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestThresholdAblation(t *testing.T) {
+	tab, err := ThresholdAblation(3000, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 3 m, the fixed threshold must be far worse than adaptive.
+	last := tab.Rows[len(tab.Rows)-1]
+	adaptive, fixed := berCell(t, last[1]), berCell(t, last[2])
+	if fixed < 5*adaptive {
+		t.Errorf("fixed threshold at 3 m (%v) should be much worse than adaptive (%v)", fixed, adaptive)
+	}
+}
+
+func TestMultiTagInventoryIdentifiesAll(t *testing.T) {
+	tab, err := MultiTagInventory(Options{Seed: 31, Trials: 1, PayloadLen: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[0] != row[1] {
+			t.Errorf("population %s: identified only %s", row[0], row[1])
+		}
+	}
+}
+
+func TestChannelSweepSimilar(t *testing.T) {
+	tab, err := ChannelSweep(Options{Seed: 61, Trials: 3, PayloadLen: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Every channel decodes well at 30 cm (the §7.1 "similar" claim).
+	for _, row := range tab.Rows {
+		if ber := berCell(t, row[2]); ber > 3e-2 {
+			t.Errorf("channel %s BER = %v, want small", row[0], ber)
+		}
+	}
+}
+
+func TestAckDetectionReliableNear(t *testing.T) {
+	tab, err := AckDetection(Options{Seed: 62, Trials: 4, PayloadLen: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near row: all detections, no false alarms.
+	near := tab.Rows[0]
+	if near[1] != "4/4" {
+		t.Errorf("ACK detections at 5 cm = %s, want 4/4", near[1])
+	}
+	for _, row := range tab.Rows {
+		if row[2] != "0/4" {
+			t.Errorf("false alarms at %s = %s, want 0/4", row[0], row[2])
+		}
+	}
+}
+
+func TestDutyCycledSensorFallsWithDistance(t *testing.T) {
+	tab, err := DutyCycledSensor(63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(cell string) int {
+		v, _ := strconv.Atoi(cell)
+		return v
+	}
+	first := parse(tab.Rows[0][3])
+	last := parse(tab.Rows[len(tab.Rows)-1][3])
+	if first <= last {
+		t.Errorf("reports/hour should fall with tower distance: %d -> %d", first, last)
+	}
+	if first == 0 {
+		t.Error("at 5 km the tag should report at least sometimes")
+	}
+}
+
+func TestMACValidationShape(t *testing.T) {
+	tab, err := MACValidation(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseFrac := func(cell string) float64 {
+		v, _ := strconv.ParseFloat(cell, 64)
+		return v
+	}
+	one := parseFrac(tab.Rows[0][3])
+	sixteen := parseFrac(tab.Rows[len(tab.Rows)-1][3])
+	if one != 0 {
+		t.Errorf("single station collision fraction = %v, want 0", one)
+	}
+	if sixteen <= 0.05 {
+		t.Errorf("16-station collision fraction = %v, want substantial", sixteen)
+	}
+}

@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/wifi"
+)
+
+// MACValidation characterizes the CSMA/CA substrate the whole evaluation
+// stands on: saturation goodput and collision fraction as contending
+// stations grow. The qualitative shape is the classic DCF result —
+// goodput falls slowly and the collision fraction rises with the station
+// count — and the single-station figure should sit near the analytic
+// per-frame cost (DIFS + mean backoff + data airtime + SIFS + ACK).
+func MACValidation(seconds float64, seed int64) (*Table, error) {
+	if seconds <= 0 {
+		seconds = 5
+	}
+	t := &Table{
+		Title: "Substrate validation: 802.11 DCF saturation behaviour",
+		Note: "one station should match the analytic per-frame cost; more " +
+			"stations trade goodput for collisions (classic DCF shape)",
+		Columns: []string{"stations", "goodput", "frames/s", "collision frac", "analytic 1-station"},
+	}
+	const payload = 1400
+	frameLen := payload + 27 // header+FCS
+	perFrame := wifi.DIFS + float64(wifi.CWMin)/2*wifi.SlotTime +
+		wifi.AirTime(frameLen, wifi.Rate54) + wifi.AckAirTime()
+	theory := 1 / perFrame
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		eng := sim.NewEngine()
+		m := wifi.NewMedium(eng, rng.New(seed+int64(n)))
+		stations := make([]*wifi.Station, n)
+		for i := 0; i < n; i++ {
+			stations[i] = m.AddStation(fmt.Sprintf("s%d", i), wifi.MAC{byte(i + 1)}, wifi.Rate54)
+			(&wifi.SaturatedSource{Station: stations[i], Dst: wifi.MAC{99}, Payload: payload}).Start()
+		}
+		eng.Run(seconds)
+		var delivered, sent, collided, bytes int
+		for _, st := range stations {
+			delivered += st.DeliveredFrames
+			sent += st.SentFrames
+			collided += st.CollidedFrames
+			bytes += st.DeliveredBytes
+		}
+		analytic := "-"
+		if n == 1 {
+			analytic = fmt.Sprintf("%.0f frames/s", theory)
+		}
+		t.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f MB/s", float64(bytes)/seconds/1e6),
+			fmt.Sprintf("%.0f", float64(delivered)/seconds),
+			fmt.Sprintf("%.3f", float64(collided)/float64(sent)),
+			analytic)
+	}
+	return t, nil
+}

@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{
+		Title:   "Test",
+		Note:    "a note",
+		Columns: []string{"a", "long-column"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	out := tab.String()
+	if !strings.Contains(out, "== Test ==") {
+		t.Errorf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "a note") {
+		t.Errorf("missing note: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	// Header and rows align on the first column width (3).
+	if !strings.HasPrefix(lines[2], "a  ") {
+		t.Errorf("header not padded: %q", lines[2])
+	}
+}
+
+func TestFmtBER(t *testing.T) {
+	if got := fmtBER(0, 1000); got != "<5.0e-04" {
+		t.Errorf("zero-error BER = %q, want floored", got)
+	}
+	if got := fmtBER(10, 1000); got != "1.0e-02" {
+		t.Errorf("BER = %q", got)
+	}
+	if got := fmtBER(1, 0); got != "n/a" {
+		t.Errorf("no-bits BER = %q", got)
+	}
+}
+
+func TestBerValue(t *testing.T) {
+	if got := berValue(0, 1000); got != 0.0005 {
+		t.Errorf("floored BER = %v", got)
+	}
+	if got := berValue(5, 100); got != 0.05 {
+		t.Errorf("BER = %v", got)
+	}
+	if got := berValue(1, 0); got != 1 {
+		t.Errorf("degenerate BER = %v", got)
+	}
+}

@@ -1,0 +1,200 @@
+// Package firmware implements the tag's microcontroller program — the
+// counterpart of the paper's "MSP430G2553 running custom firmware with
+// receive and transmit logic implementations" (§6). It ties together the
+// pieces the lower layers provide:
+//
+//   - the downlink receive path (analog circuit → preamble match → mid-bit
+//     sampling → CRC), via core.DecodeDownlinkWindow;
+//   - query handling: command dispatch, ID filtering, and the advised
+//     uplink bit rate from the query (§5);
+//   - the uplink transmit path (framing, scrambling, switch modulation);
+//   - energy management: every action drains the storage capacitor, which
+//     recharges from the configured harvest supply; with too little
+//     energy the tag stays silent (§6's duty-cycled operation).
+package firmware
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/downlink"
+	"repro/internal/reader"
+	"repro/internal/tag"
+	"repro/internal/units"
+)
+
+// State is the firmware's operating mode.
+type State int
+
+// Firmware states (§4.2's two µC modes plus the response phase).
+const (
+	// StateSleep: the µC sleeps; only the 9 µW analog receiver runs.
+	StateSleep State = iota
+	// StateDecoding: a preamble matched; the µC samples mid-bit.
+	StateDecoding
+	// StateResponding: the switch modulates the uplink response.
+	StateResponding
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateDecoding:
+		return "decoding"
+	case StateResponding:
+		return "responding"
+	}
+	return "sleep"
+}
+
+// Config sets the firmware's fixed parameters.
+type Config struct {
+	// ID this tag answers to (0xFFFF in a query addresses all tags).
+	ID uint16
+	// TagIndex is the tag's index in the core system's channel.
+	TagIndex int
+	// DownlinkBitDuration the reader uses.
+	DownlinkBitDuration float64
+	// Turnaround between decoding a query and starting the response.
+	Turnaround float64
+	// Supply is the harvest income; zero with a nil Reservoir means
+	// unconstrained energy.
+	Supply units.Microwatt
+	// Reservoir is the storage capacitor; nil disables energy gating.
+	Reservoir *tag.Reservoir
+}
+
+// Stats counts firmware activity.
+type Stats struct {
+	// WindowsSeen is how many protected windows the µC examined.
+	WindowsSeen int
+	// QueriesDecoded passed CRC and parsing.
+	QueriesDecoded int
+	// QueriesForUs matched our ID (or broadcast).
+	QueriesForUs int
+	// Responses transmitted.
+	Responses int
+	// EnergyDenied counts responses skipped for lack of stored energy.
+	EnergyDenied int
+}
+
+// BroadcastID addresses every tag.
+const BroadcastID = 0xFFFF
+
+// Tag is a running firmware instance.
+type Tag struct {
+	cfg Config
+	// ReadSensor supplies the 48-bit payload for CmdRead; seq increments
+	// per response.
+	ReadSensor func(seq uint16) uint64
+
+	state    State
+	seq      uint16
+	lastTime float64
+	stats    Stats
+}
+
+// New validates the config and returns a firmware instance.
+func New(cfg Config, readSensor func(seq uint16) uint64) (*Tag, error) {
+	if cfg.DownlinkBitDuration <= 0 {
+		return nil, fmt.Errorf("firmware: downlink bit duration must be positive")
+	}
+	if cfg.Turnaround <= 0 {
+		cfg.Turnaround = 0.02
+	}
+	if readSensor == nil {
+		return nil, fmt.Errorf("firmware: a sensor function is required")
+	}
+	return &Tag{cfg: cfg, ReadSensor: readSensor}, nil
+}
+
+// State returns the current mode.
+func (t *Tag) State() State { return t.state }
+
+// Stats returns a copy of the counters.
+func (t *Tag) Stats() Stats { return t.stats }
+
+// decodeEnergyMicrojoules is the cost of waking through one downlink
+// message: ~4 ms of µC activity at a few hundred µW.
+const decodeEnergyMicrojoules = 1.2
+
+// charge accrues harvested energy since the last event.
+func (t *Tag) charge(now float64) {
+	if t.cfg.Reservoir == nil {
+		return
+	}
+	if now > t.lastTime {
+		t.cfg.Reservoir.Charge(t.cfg.Supply, now-t.lastTime)
+		t.lastTime = now
+	}
+}
+
+// spend drains energy if a reservoir is configured; it reports whether the
+// budget allowed the action. The check precedes the draw: a denied action
+// must not bleed the capacitor, or a tag whose income sits just under the
+// action cost would never accumulate enough to act at all.
+func (t *Tag) spend(microjoules float64) bool {
+	if t.cfg.Reservoir == nil {
+		return true
+	}
+	if t.cfg.Reservoir.Stored() < microjoules*1e-6 {
+		return false
+	}
+	// Draw expects power and time; express the energy as 1 s at E µW.
+	return t.cfg.Reservoir.Draw(microjoules, 1)
+}
+
+// HandleWindow runs the firmware over one protected downlink window. If a
+// query addressed to this tag decodes and the energy budget allows, the
+// response is armed on the system's channel and the method returns the
+// modulator's end time (0 when no response was sent).
+func (t *Tag) HandleWindow(sys *core.System, start, dur float64) (responseEnd float64, err error) {
+	t.stats.WindowsSeen++
+	now := sys.Eng.Now()
+	t.charge(now)
+	t.state = StateDecoding
+	defer func() { t.state = StateSleep }()
+	if !t.spend(decodeEnergyMicrojoules) {
+		t.stats.EnergyDenied++
+		return 0, nil
+	}
+	wr, derr := sys.DecodeDownlinkWindow(start, dur, t.cfg.DownlinkBitDuration)
+	if derr != nil || wr.Err != nil {
+		return 0, nil // missed or garbled: stay silent
+	}
+	q := reader.DecodeQuery(wr.Message)
+	t.stats.QueriesDecoded++
+	if q.TagID != t.cfg.ID && q.TagID != BroadcastID {
+		return 0, nil
+	}
+	t.stats.QueriesForUs++
+	var payload uint64
+	switch q.Command {
+	case reader.CmdRead:
+		payload = t.ReadSensor(t.seq)
+	case reader.CmdIdentify:
+		payload = uint64(t.cfg.ID)
+	default:
+		return 0, nil // unknown command: no response
+	}
+	if q.BitRate == 0 {
+		return 0, nil
+	}
+	// Energy for the response: framing bits at the advised rate, at the
+	// transmit circuit's draw.
+	bits := tag.FrameBits(tag.Scramble(downlink.NewMessage(payload).PayloadBits()))
+	txSeconds := float64(len(bits)) / float64(q.BitRate)
+	txEnergy := txSeconds * tag.TransmitPowerMicrowatt
+	if !t.spend(txEnergy) {
+		t.stats.EnergyDenied++
+		return 0, nil
+	}
+	t.state = StateResponding
+	t.seq++
+	mod, merr := sys.TransmitUplinkFrom(t.cfg.TagIndex, bits, now+t.cfg.Turnaround, float64(q.BitRate))
+	if merr != nil {
+		return 0, merr
+	}
+	t.stats.Responses++
+	return mod.End(), nil
+}

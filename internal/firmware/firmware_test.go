@@ -1,0 +1,239 @@
+package firmware
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/downlink"
+	"repro/internal/reader"
+	"repro/internal/tag"
+	"repro/internal/units"
+	"repro/internal/wifi"
+)
+
+// sendQuery pushes one query over the downlink and returns the protected
+// window.
+func sendQuery(t *testing.T, sys *core.System, q reader.Query) (start, dur float64) {
+	t.Helper()
+	enc, err := downlink.NewEncoder(50e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := enc.Plan(q.Encode().Bits())
+	granted := false
+	if err := enc.Send(sys.Medium, sys.Reader, chunks, func(_ int, s float64) {
+		start = s
+		granted = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(sys.Eng.Now() + 0.3)
+	if !granted {
+		t.Fatal("downlink window never granted")
+	}
+	return start, chunks[0].Reservation
+}
+
+// newFirmwareSystem builds a system with traffic and a firmware tag.
+func newFirmwareSystem(t *testing.T, seed int64, cfg Config, sensor func(uint16) uint64) (*core.System, *Tag) {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{Seed: seed, TagReaderDistance: units.Centimeters(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.EnableTxLog()
+	(&wifi.CBRSource{Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 0.001}).Start()
+	sys.Run(0.2)
+	fw, err := New(cfg, sensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, fw
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, func(uint16) uint64 { return 0 }); err == nil {
+		t.Error("zero bit duration should error")
+	}
+	if _, err := New(Config{DownlinkBitDuration: 50e-6}, nil); err == nil {
+		t.Error("nil sensor should error")
+	}
+}
+
+func TestFirmwareAnswersRead(t *testing.T) {
+	const want = 0x00AB_CD12_3456
+	sys, fw := newFirmwareSystem(t, 1, Config{
+		ID: 0x77, DownlinkBitDuration: 50e-6,
+	}, func(seq uint16) uint64 { return want })
+
+	start, dur := sendQuery(t, sys, reader.Query{
+		Command: reader.CmdRead, TagID: 0x77, BitRate: 100,
+	})
+	end, err := fw.HandleWindow(sys, start, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end == 0 {
+		t.Fatalf("firmware did not respond (stats %+v)", fw.Stats())
+	}
+	sys.Run(end + 0.3)
+	// The reader decodes the response.
+	dec, _ := sys.UplinkDecoder(100)
+	res, err := dec.DecodeCSI(sys.Series(), end-float64(13+downlink.PayloadBits+13)/100.0, downlink.PayloadBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, perr := downlink.ParsePayload(tag.Scramble(res.Payload))
+	if perr != nil {
+		t.Fatalf("response CRC failed: %v", perr)
+	}
+	if msg.Data != want {
+		t.Errorf("reader decoded %x, want %x", msg.Data, want)
+	}
+	st := fw.Stats()
+	if st.Responses != 1 || st.QueriesForUs != 1 || st.QueriesDecoded != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFirmwareIgnoresOtherIDs(t *testing.T) {
+	sys, fw := newFirmwareSystem(t, 2, Config{
+		ID: 0x11, DownlinkBitDuration: 50e-6,
+	}, func(uint16) uint64 { return 1 })
+	start, dur := sendQuery(t, sys, reader.Query{
+		Command: reader.CmdRead, TagID: 0x22, BitRate: 100,
+	})
+	end, err := fw.HandleWindow(sys, start, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 0 {
+		t.Error("firmware answered a query for another tag")
+	}
+	st := fw.Stats()
+	if st.QueriesDecoded != 1 || st.QueriesForUs != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFirmwareAnswersBroadcast(t *testing.T) {
+	sys, fw := newFirmwareSystem(t, 3, Config{
+		ID: 0x33, DownlinkBitDuration: 50e-6,
+	}, func(uint16) uint64 { return 9 })
+	start, dur := sendQuery(t, sys, reader.Query{
+		Command: reader.CmdIdentify, TagID: BroadcastID, BitRate: 100,
+	})
+	end, err := fw.HandleWindow(sys, start, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end == 0 {
+		t.Fatal("firmware should answer a broadcast identify")
+	}
+}
+
+func TestFirmwareUnknownCommandSilent(t *testing.T) {
+	sys, fw := newFirmwareSystem(t, 4, Config{
+		ID: 0x44, DownlinkBitDuration: 50e-6,
+	}, func(uint16) uint64 { return 1 })
+	start, dur := sendQuery(t, sys, reader.Query{
+		Command: 200, TagID: 0x44, BitRate: 100,
+	})
+	end, err := fw.HandleWindow(sys, start, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 0 {
+		t.Error("unknown command should stay silent")
+	}
+}
+
+func TestFirmwareEnergyGating(t *testing.T) {
+	// A nearly empty reservoir with no income: the decode cost alone is
+	// denied.
+	res := &tag.Reservoir{CapacityJoules: 10e-6}
+	sys, fw := newFirmwareSystem(t, 5, Config{
+		ID: 0x55, DownlinkBitDuration: 50e-6,
+		Reservoir: res, Supply: 0,
+	}, func(uint16) uint64 { return 1 })
+	start, dur := sendQuery(t, sys, reader.Query{
+		Command: reader.CmdRead, TagID: 0x55, BitRate: 100,
+	})
+	end, err := fw.HandleWindow(sys, start, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 0 {
+		t.Error("empty reservoir should deny the response")
+	}
+	if fw.Stats().EnergyDenied == 0 {
+		t.Error("denial should be counted")
+	}
+}
+
+func TestFirmwareEnergyRecharges(t *testing.T) {
+	// With harvest income, the same tag answers once it has charged.
+	res := &tag.Reservoir{CapacityJoules: 100e-6}
+	sys, fw := newFirmwareSystem(t, 6, Config{
+		ID: 0x66, DownlinkBitDuration: 50e-6,
+		Reservoir: res, Supply: 20, // 20 µW income
+	}, func(uint16) uint64 { return 2 })
+	// Let it charge for two simulated seconds (≈40 µJ).
+	sys.Run(sys.Eng.Now() + 2)
+	start, dur := sendQuery(t, sys, reader.Query{
+		Command: reader.CmdRead, TagID: 0x66, BitRate: 100,
+	})
+	end, err := fw.HandleWindow(sys, start, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end == 0 {
+		t.Fatalf("charged tag should respond (stats %+v, stored %v J)",
+			fw.Stats(), res.Stored())
+	}
+}
+
+func TestFirmwareStateTransitions(t *testing.T) {
+	sys, fw := newFirmwareSystem(t, 7, Config{
+		ID: 0x88, DownlinkBitDuration: 50e-6,
+	}, func(uint16) uint64 { return 3 })
+	if fw.State() != StateSleep {
+		t.Errorf("initial state = %v, want sleep", fw.State())
+	}
+	start, dur := sendQuery(t, sys, reader.Query{
+		Command: reader.CmdRead, TagID: 0x88, BitRate: 100,
+	})
+	if _, err := fw.HandleWindow(sys, start, dur); err != nil {
+		t.Fatal(err)
+	}
+	if fw.State() != StateSleep {
+		t.Errorf("state after handling = %v, want sleep", fw.State())
+	}
+	for s, want := range map[State]string{
+		StateSleep: "sleep", StateDecoding: "decoding", StateResponding: "responding",
+	} {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestFirmwareSequenceIncrements(t *testing.T) {
+	var seqs []uint16
+	sys, fw := newFirmwareSystem(t, 8, Config{
+		ID: 0x99, DownlinkBitDuration: 50e-6,
+	}, func(seq uint16) uint64 { seqs = append(seqs, seq); return uint64(seq) })
+	for i := 0; i < 3; i++ {
+		start, dur := sendQuery(t, sys, reader.Query{
+			Command: reader.CmdRead, TagID: 0x99, BitRate: 500,
+		})
+		end, err := fw.HandleWindow(sys, start, dur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(end + 0.2)
+	}
+	if len(seqs) != 3 || seqs[0] != 0 || seqs[1] != 1 || seqs[2] != 2 {
+		t.Errorf("sensor sequence = %v, want [0 1 2]", seqs)
+	}
+}

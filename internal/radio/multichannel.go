@@ -1,0 +1,136 @@
+package radio
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// MultiChannel generalizes Channel to several tags sharing one reader:
+//
+//	H[a][k] = H_direct[a](f_k) + Σ_i s_i · A_i · H_ht,i(f_k) · H_tr,i[a](f_k)
+//
+// Each tag contributes its own backscatter path with independent fading,
+// so two tags modulating simultaneously interfere at the reader — the
+// physical basis for inventory collisions (§2's EPC Gen-2 discussion).
+type MultiChannel struct {
+	cfg      ChannelConfig
+	offsets  []units.Hertz
+	direct   []*Multipath
+	ampDir   float64
+	scale    float64
+	antennas int
+	stream   *rng.Stream
+	geoBase  Geometry
+	tags     []*tagPath
+}
+
+// tagPath is one tag's backscatter contribution.
+type tagPath struct {
+	helpTag *Multipath
+	tagRead []*Multipath
+	ampBack float64
+}
+
+// NewMultiChannel builds a channel with no tags; add them with AddTag. The
+// geometry supplies the helper/reader placement; per-tag distances come
+// from AddTag.
+func NewMultiChannel(cfg ChannelConfig, geo Geometry, stream *rng.Stream) (*MultiChannel, error) {
+	if cfg.Subchannels <= 0 || cfg.Antennas <= 0 {
+		return nil, fmt.Errorf("radio: channel needs positive subchannels and antennas, got %d, %d",
+			cfg.Subchannels, cfg.Antennas)
+	}
+	if geo.HelperToTag <= 0 {
+		return nil, fmt.Errorf("radio: helper distance must be positive: %+v", geo)
+	}
+	c := &MultiChannel{
+		cfg:      cfg,
+		scale:    cfg.CSIScale,
+		antennas: cfg.Antennas,
+		stream:   stream,
+		geoBase:  geo,
+	}
+	c.offsets = make([]units.Hertz, cfg.Subchannels)
+	for k := range c.offsets {
+		c.offsets[k] = units.Hertz(float64(k)-float64(cfg.Subchannels-1)/2) * cfg.SubchannelSpacing
+	}
+	c.direct = make([]*Multipath, cfg.Antennas)
+	for a := 0; a < cfg.Antennas; a++ {
+		c.direct[a] = NewMultipath(cfg.Multipath, stream.Split(fmt.Sprintf("direct-%d", a)))
+	}
+	c.ampDir = cfg.PathLoss.AmplitudeGain(geo.helperReader(), geo.HelperWalls)
+	return c, nil
+}
+
+// AddTag adds a tag at the given distance from the reader and returns its
+// index. The helper→tag distance defaults to the base geometry's.
+func (c *MultiChannel) AddTag(tagToReader units.Meters) (int, error) {
+	if tagToReader <= 0 {
+		return 0, fmt.Errorf("radio: tag distance must be positive, got %v", tagToReader)
+	}
+	idx := len(c.tags)
+	tp := &tagPath{
+		helpTag: NewMultipath(c.cfg.Multipath, c.stream.Split(fmt.Sprintf("tag%d-helptag", idx))),
+		tagRead: make([]*Multipath, c.antennas),
+	}
+	trCfg := c.cfg.Multipath
+	trCfg.RiceK = 10
+	for a := 0; a < c.antennas; a++ {
+		tp.tagRead[a] = NewMultipath(trCfg, c.stream.Split(fmt.Sprintf("tag%d-tagread-%d", idx, a)))
+	}
+	lambda := c.cfg.Carrier.Wavelength()
+	gHT := c.cfg.PathLoss.AmplitudeGain(c.geoBase.HelperToTag, c.geoBase.HelperWalls)
+	gTR := FreeSpaceAmplitudeGain(tagToReader, lambda)
+	tp.ampBack = gHT * gTR * c.cfg.Antenna.DifferentialGain(lambda)
+	c.tags = append(c.tags, tp)
+	return idx, nil
+}
+
+// Tags returns the number of tags attached.
+func (c *MultiChannel) Tags() int { return len(c.tags) }
+
+// Subchannels returns the number of sub-channels.
+func (c *MultiChannel) Subchannels() int { return len(c.offsets) }
+
+// Antennas returns the number of reader antennas.
+func (c *MultiChannel) Antennas() int { return c.antennas }
+
+// ModulationDepth returns tag i's backscatter-to-direct amplitude ratio.
+func (c *MultiChannel) ModulationDepth(i int) float64 {
+	if i < 0 || i >= len(c.tags) || c.ampDir == 0 {
+		return 0
+	}
+	return c.tags[i].ampBack / c.ampDir
+}
+
+// Observe returns the composite channel at time t given each tag's switch
+// state. len(reflecting) must equal Tags().
+func (c *MultiChannel) Observe(t float64, reflecting []bool) ([][]complex128, error) {
+	if len(reflecting) != len(c.tags) {
+		return nil, fmt.Errorf("radio: got %d states for %d tags", len(reflecting), len(c.tags))
+	}
+	for _, tp := range c.tags {
+		tp.helpTag.EvolveTo(t)
+	}
+	out := make([][]complex128, c.antennas)
+	for a := 0; a < c.antennas; a++ {
+		c.direct[a].EvolveTo(t)
+		row := make([]complex128, len(c.offsets))
+		for _, tp := range c.tags {
+			tp.tagRead[a].EvolveTo(t)
+		}
+		for k, f := range c.offsets {
+			h := c.direct[a].Response(f) * complex(c.ampDir, 0)
+			for i, tp := range c.tags {
+				if !reflecting[i] {
+					continue
+				}
+				h += tp.helpTag.Response(f) * tp.tagRead[a].Response(f) * complex(tp.ampBack, 0)
+			}
+			row[k] = h * complex(c.scale, 0)
+		}
+		out[a] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+// Package radio models the 2.4 GHz physical layer that the Wi-Fi
+// Backscatter hardware prototype operated over: free-space and log-distance
+// path loss, frequency-selective multipath fading across the OFDM band,
+// slow temporal channel variation from environment mobility, thermal noise,
+// the tag's antenna/radar-cross-section, and the composite backscatter
+// channel
+//
+//	H(f) = H_direct(f) + Γ_state · A · H_helper→tag(f) · H_tag→reader(f)
+//
+// observed by a Wi-Fi reader. This package substitutes for the paper's
+// over-the-air testbed (see DESIGN.md §2); the decoding algorithms built on
+// top of it are the paper's own.
+package radio
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// FreeSpaceAmplitudeGain returns the linear amplitude (field) gain of a
+// free-space path of length d at wavelength lambda: λ/(4πd). It returns 0
+// for non-positive distances or wavelengths, which callers treat as a dead
+// path.
+func FreeSpaceAmplitudeGain(d units.Meters, lambda units.Meters) float64 {
+	if d <= 0 || lambda <= 0 {
+		return 0
+	}
+	return float64(lambda) / (4 * math.Pi * float64(d))
+}
+
+// FreeSpacePathLoss returns the free-space path loss in dB (a positive
+// number) for distance d at frequency f.
+func FreeSpacePathLoss(d units.Meters, f units.Hertz) units.DB {
+	g := FreeSpaceAmplitudeGain(d, f.Wavelength())
+	if g == 0 {
+		return units.DB(math.Inf(1))
+	}
+	return units.DB(-20 * math.Log10(g))
+}
+
+// LogDistance models indoor path loss with a reference-distance form:
+// PL(d) = PL(d0) + 10·n·log10(d/d0) + walls·WallLoss. Exponent n ≈ 2 is
+// free space; indoor non-line-of-sight environments measure n ≈ 2.5–4.
+type LogDistance struct {
+	// Exponent is the path-loss exponent n.
+	Exponent float64
+	// RefDistance d0, usually 1 m.
+	RefDistance units.Meters
+	// Frequency of the carrier, used for the reference loss.
+	Frequency units.Hertz
+	// WallLoss is the attenuation per intervening wall.
+	WallLoss units.DB
+}
+
+// DefaultIndoor returns a log-distance model representative of the paper's
+// office testbed on Wi-Fi channel 6.
+func DefaultIndoor() LogDistance {
+	return LogDistance{
+		Exponent:    2.8,
+		RefDistance: 1,
+		Frequency:   2.437 * units.GHz,
+		WallLoss:    6,
+	}
+}
+
+// Loss returns the path loss in dB over distance d through the given number
+// of walls.
+func (m LogDistance) Loss(d units.Meters, walls int) units.DB {
+	if d <= 0 {
+		return 0
+	}
+	ref := FreeSpacePathLoss(m.RefDistance, m.Frequency)
+	n := m.Exponent
+	if n == 0 {
+		n = 2
+	}
+	loss := float64(ref) + 10*n*math.Log10(float64(d)/float64(m.RefDistance))
+	if loss < 0 {
+		loss = 0 // closer than the reference distance saturates at 0 loss
+	}
+	return units.DB(loss) + units.DB(walls)*m.WallLoss
+}
+
+// AmplitudeGain returns the linear amplitude gain for the modelled path.
+func (m LogDistance) AmplitudeGain(d units.Meters, walls int) float64 {
+	return units.DB(-m.Loss(d, walls)).AmplitudeRatio()
+}
+
+// ThermalNoiseDBm returns the thermal noise floor kTB in dBm for the given
+// bandwidth plus a receiver noise figure.
+func ThermalNoiseDBm(bandwidth units.Hertz, noiseFigure units.DB) units.DBm {
+	// kT at 290 K is -174 dBm/Hz.
+	return units.DBm(-174+10*math.Log10(float64(bandwidth))) + units.DBm(noiseFigure)
+}

@@ -1,0 +1,99 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestFreeSpaceAmplitudeGain(t *testing.T) {
+	lambda := (2.437 * units.GHz).Wavelength()
+	g := FreeSpaceAmplitudeGain(1, lambda)
+	want := float64(lambda) / (4 * math.Pi)
+	if math.Abs(g-want) > 1e-12 {
+		t.Errorf("gain at 1 m = %v, want %v", g, want)
+	}
+	// Amplitude falls as 1/d.
+	g2 := FreeSpaceAmplitudeGain(2, lambda)
+	if math.Abs(g/g2-2) > 1e-9 {
+		t.Errorf("amplitude ratio 1m/2m = %v, want 2", g/g2)
+	}
+	if FreeSpaceAmplitudeGain(0, lambda) != 0 {
+		t.Error("zero distance should give zero gain")
+	}
+	if FreeSpaceAmplitudeGain(1, 0) != 0 {
+		t.Error("zero wavelength should give zero gain")
+	}
+}
+
+func TestFreeSpacePathLossKnownValue(t *testing.T) {
+	// FSPL at 2.437 GHz, 2.13 m is about 46.7 dB.
+	got := FreeSpacePathLoss(2.13, 2.437*units.GHz)
+	if math.Abs(float64(got)-46.7) > 0.2 {
+		t.Errorf("FSPL(2.13 m) = %v, want ~46.7 dB", got)
+	}
+	if !math.IsInf(float64(FreeSpacePathLoss(0, 2.437*units.GHz)), 1) {
+		t.Error("FSPL at zero distance should be +inf")
+	}
+}
+
+func TestLogDistanceMonotone(t *testing.T) {
+	m := DefaultIndoor()
+	prev := units.DB(-1)
+	for _, d := range []units.Meters{1, 2, 3, 5, 9} {
+		loss := m.Loss(d, 0)
+		if loss <= prev {
+			t.Errorf("loss not monotone at %v: %v <= %v", d, loss, prev)
+		}
+		prev = loss
+	}
+}
+
+func TestLogDistanceWalls(t *testing.T) {
+	m := DefaultIndoor()
+	noWall := m.Loss(5, 0)
+	oneWall := m.Loss(5, 1)
+	if got := oneWall - noWall; math.Abs(float64(got-m.WallLoss)) > 1e-9 {
+		t.Errorf("wall penalty = %v, want %v", got, m.WallLoss)
+	}
+}
+
+func TestLogDistanceReference(t *testing.T) {
+	m := DefaultIndoor()
+	ref := FreeSpacePathLoss(m.RefDistance, m.Frequency)
+	if got := m.Loss(m.RefDistance, 0); math.Abs(float64(got-ref)) > 1e-9 {
+		t.Errorf("loss at reference distance = %v, want FSPL %v", got, ref)
+	}
+	if got := m.Loss(0, 0); got != 0 {
+		t.Errorf("loss at zero distance = %v, want 0", got)
+	}
+}
+
+func TestLogDistanceExponentDefault(t *testing.T) {
+	m := LogDistance{RefDistance: 1, Frequency: 2.437 * units.GHz}
+	// Exponent 0 falls back to 2 (free space slope).
+	l1 := m.Loss(1, 0)
+	l10 := m.Loss(10, 0)
+	if got := float64(l10 - l1); math.Abs(got-20) > 1e-9 {
+		t.Errorf("decade slope with default exponent = %v dB, want 20", got)
+	}
+}
+
+func TestAmplitudeGainConsistency(t *testing.T) {
+	m := DefaultIndoor()
+	d := units.Meters(4)
+	g := m.AmplitudeGain(d, 0)
+	loss := m.Loss(d, 0)
+	if gotDB := -20 * math.Log10(g); math.Abs(gotDB-float64(loss)) > 1e-9 {
+		t.Errorf("amplitude gain inconsistent with loss: %v vs %v", gotDB, loss)
+	}
+}
+
+func TestThermalNoise(t *testing.T) {
+	// kTB for 20 MHz is about -101 dBm; with a 6 dB noise figure, -95 dBm.
+	got := ThermalNoiseDBm(20*units.MHz, 6)
+	if math.Abs(float64(got)-(-95)) > 0.2 {
+		t.Errorf("thermal noise = %v, want ~-95 dBm", got)
+	}
+}

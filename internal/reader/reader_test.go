@@ -1,0 +1,140 @@
+package reader
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/wifi"
+)
+
+func TestAdviseMatchesPaperOperatingPoints(t *testing.T) {
+	ra := NewRateAdvisor()
+	// Fig. 12: ~100 bps at 500 pkt/s and ~1 kbps at ~3070 pkt/s.
+	if got := ra.Advise(500); got != 100 {
+		t.Errorf("Advise(500) = %v, want 100", got)
+	}
+	if got := ra.Advise(3070); got != 500 {
+		t.Errorf("Advise(3070) = %v, want 500 (conservative default)", got)
+	}
+	aggressive := RateAdvisor{PacketsPerBit: 3, Safety: 1}
+	if got := aggressive.Advise(3070); got != 1000 {
+		t.Errorf("aggressive Advise(3070) = %v, want 1000", got)
+	}
+}
+
+func TestAdviseZeroWhenStarved(t *testing.T) {
+	ra := NewRateAdvisor()
+	if got := ra.Advise(100); got != 0 {
+		t.Errorf("Advise(100) = %v, want 0 (cannot sustain 100 bps)", got)
+	}
+}
+
+func TestAdviseMonotoneProperty(t *testing.T) {
+	ra := NewRateAdvisor()
+	f := func(a, b uint16) bool {
+		lo, hi := float64(a), float64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return ra.Advise(lo) <= ra.Advise(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdviseDefaultsOnZeroConfig(t *testing.T) {
+	ra := RateAdvisor{}
+	if got := ra.Advise(5000); got == 0 {
+		t.Error("zero-config advisor should fall back to defaults and advise a rate")
+	}
+}
+
+func TestRateEstimator(t *testing.T) {
+	e, err := NewRateEstimator(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rate() != 0 {
+		t.Error("fresh estimator should report 0")
+	}
+	// 500 packets over 1 second.
+	for i := 0; i < 500; i++ {
+		e.Observe(float64(i) * 0.002)
+	}
+	if got := e.Rate(); got < 450 || got > 550 {
+		t.Errorf("rate = %v, want ~500", got)
+	}
+	// After a quiet gap, old packets age out.
+	e.Observe(10)
+	if got := e.Rate(); got > 2 {
+		t.Errorf("rate after gap = %v, want ~1", got)
+	}
+}
+
+func TestRateEstimatorValidation(t *testing.T) {
+	if _, err := NewRateEstimator(0); err == nil {
+		t.Error("zero window should error")
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := Query{Command: CmdRead, TagID: 0xBEEF, BitRate: 1000, Arg: 7}
+	got := DecodeQuery(q.Encode())
+	if got != q {
+		t.Errorf("round trip: got %+v, want %+v", got, q)
+	}
+}
+
+func TestQueryRoundTripProperty(t *testing.T) {
+	f := func(cmd uint8, id uint16, rate uint16, arg uint8) bool {
+		q := Query{Command: cmd, TagID: id, BitRate: rate, Arg: arg}
+		return DecodeQuery(q.Encode()) == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransactionRetries(t *testing.T) {
+	tr := NewTransaction(Query{Command: CmdRead})
+	attempts := 0
+	for tr.NextAttempt() {
+		attempts++
+	}
+	if attempts != tr.MaxAttempts {
+		t.Errorf("attempts = %d, want %d", attempts, tr.MaxAttempts)
+	}
+	if tr.Done {
+		t.Error("exhausted transaction should not be done")
+	}
+}
+
+func TestTransactionCompletes(t *testing.T) {
+	tr := NewTransaction(Query{})
+	if !tr.NextAttempt() {
+		t.Fatal("first attempt should be allowed")
+	}
+	tr.Complete()
+	if tr.NextAttempt() {
+		t.Error("completed transaction should not retry")
+	}
+}
+
+func TestMonitorHelper(t *testing.T) {
+	eng := sim.NewEngine()
+	m := wifi.NewMedium(eng, rng.New(1))
+	helper := m.AddStation("helper", wifi.MAC{1}, wifi.Rate54)
+	other := m.AddStation("other", wifi.MAC{2}, wifi.Rate54)
+	est, _ := NewRateEstimator(1.0)
+	MonitorHelper(m, helper, est)
+	(&wifi.CBRSource{Station: helper, Dst: wifi.MAC{9}, Payload: 100, Interval: 0.002}).Start()
+	(&wifi.CBRSource{Station: other, Dst: wifi.MAC{9}, Payload: 100, Interval: 0.002}).Start()
+	eng.Run(3)
+	// Only the helper's ~500 pkt/s should be counted.
+	if got := est.Rate(); got < 400 || got > 600 {
+		t.Errorf("estimated helper rate = %v, want ~500", got)
+	}
+}

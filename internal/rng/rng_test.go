@@ -1,0 +1,203 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDeterminismAndIndependence(t *testing.T) {
+	a := New(7).Split("fading")
+	b := New(7).Split("fading")
+	c := New(7).Split("noise")
+	equal := true
+	diff := false
+	for i := 0; i < 100; i++ {
+		av, bv, cv := a.Float64(), b.Float64(), c.Float64()
+		if av != bv {
+			equal = false
+		}
+		if av != cv {
+			diff = true
+		}
+	}
+	if !equal {
+		t.Error("same-name splits should be identical")
+	}
+	if !diff {
+		t.Error("different-name splits should differ")
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	s := New(1)
+	const n = 200_000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.Gaussian(3, 2)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-3) > 0.03 {
+		t.Errorf("mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.1 {
+		t.Errorf("variance = %v, want ~4", variance)
+	}
+}
+
+func TestComplexGaussianVariance(t *testing.T) {
+	s := New(2)
+	const n = 200_000
+	var pow float64
+	for i := 0; i < n; i++ {
+		z := s.ComplexGaussian(2.5)
+		pow += real(z)*real(z) + imag(z)*imag(z)
+	}
+	if got := pow / n; math.Abs(got-2.5) > 0.05 {
+		t.Errorf("E[|z|^2] = %v, want ~2.5", got)
+	}
+}
+
+func TestRayleighMean(t *testing.T) {
+	s := New(3)
+	const n = 200_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Rayleigh(1)
+	}
+	want := math.Sqrt(math.Pi / 2)
+	if got := sum / n; math.Abs(got-want) > 0.01 {
+		t.Errorf("Rayleigh(1) mean = %v, want %v", got, want)
+	}
+}
+
+func TestRicianReducesToRayleigh(t *testing.T) {
+	s := New(4)
+	const n = 100_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Rician(0, 1)
+	}
+	want := math.Sqrt(math.Pi / 2)
+	if got := sum / n; math.Abs(got-want) > 0.02 {
+		t.Errorf("Rician(0,1) mean = %v, want Rayleigh mean %v", got, want)
+	}
+}
+
+func TestRicianLOSDominates(t *testing.T) {
+	s := New(5)
+	const n = 50_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Rician(10, 0.5)
+	}
+	if got := sum / n; math.Abs(got-10) > 0.1 {
+		t.Errorf("strong-LOS Rician mean = %v, want ~10", got)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(6)
+	const n = 200_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(0.25)
+	}
+	if got := sum / n; math.Abs(got-0.25) > 0.005 {
+		t.Errorf("Exponential(0.25) mean = %v", got)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(7)
+	for _, mean := range []float64{0.5, 4, 50, 1000} {
+		const n = 20_000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(s.Poisson(mean))
+		}
+		got := sum / n
+		tol := 4 * math.Sqrt(mean/float64(n)) * 3 // ~3 sigma of the sample mean
+		if math.Abs(got-mean) > math.Max(tol, 0.05) {
+			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+	if got := s.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+	if got := s.Poisson(-1); got != 0 {
+		t.Errorf("Poisson(-1) = %d, want 0", got)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 10_000; i++ {
+		v := s.Pareto(2, 1.5)
+		if v < 2 {
+			t.Fatalf("Pareto(2, 1.5) = %v < xm", v)
+		}
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	// For alpha > 1, mean = alpha*xm/(alpha-1). alpha=3, xm=1 -> 1.5.
+	s := New(9)
+	const n = 500_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Pareto(1, 3)
+	}
+	if got := sum / n; math.Abs(got-1.5) > 0.02 {
+		t.Errorf("Pareto(1,3) mean = %v, want ~1.5", got)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	s := New(10)
+	n := 100_000
+	trues := 0
+	for i := 0; i < n; i++ {
+		if s.Bool() {
+			trues++
+		}
+	}
+	frac := float64(trues) / float64(n)
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("Bool() true fraction = %v", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(12)
+	for i := 0; i < 10_000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}

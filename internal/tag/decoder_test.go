@@ -1,0 +1,216 @@
+package tag
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPreambleRuns(t *testing.T) {
+	runs, first := preambleRuns([]bool{true, true, false, true, true, true})
+	if !first {
+		t.Error("first level should be true")
+	}
+	want := []float64{2, 1, 3}
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %v, want %v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs = %v, want %v", runs, want)
+		}
+	}
+	if r, _ := preambleRuns(nil); r != nil {
+		t.Error("empty pattern should give nil runs")
+	}
+}
+
+func TestNewDecoderValidation(t *testing.T) {
+	if _, err := NewDecoder(0); err == nil {
+		t.Error("zero bit duration should error")
+	}
+	if _, err := NewDecoder(-1); err == nil {
+		t.Error("negative bit duration should error")
+	}
+}
+
+// preambleEdges generates the comparator edge sequence for the downlink
+// preamble at the given bit duration, starting at t0. It returns the edge
+// times/levels and the time of the final (matching) transition.
+func preambleEdges(t0, bitDur float64) (times []float64, levels []bool) {
+	runs, first := preambleRuns(DownlinkPreamble)
+	level := first
+	at := t0
+	times = append(times, at)
+	levels = append(levels, level)
+	for _, r := range runs[:len(runs)-1] {
+		at += r * bitDur
+		level = !level
+		times = append(times, at)
+		levels = append(levels, level)
+	}
+	return times, levels
+}
+
+func TestDecoderMatchesCleanPreamble(t *testing.T) {
+	const bitDur = 50e-6
+	d, err := NewDecoder(bitDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, levels := preambleEdges(1.0, bitDur)
+	matched := false
+	var matchAt float64
+	for i := range times {
+		if d.OnEdge(times[i], levels[i]) {
+			matched = true
+			matchAt = times[i]
+		}
+	}
+	if !matched {
+		t.Fatal("clean preamble not matched")
+	}
+	if matchAt != times[len(times)-1] {
+		t.Errorf("match at %v, want final transition %v", matchAt, times[len(times)-1])
+	}
+	// Payload begins after the preamble's final run.
+	runs, _ := preambleRuns(DownlinkPreamble)
+	wantStart := matchAt + runs[len(runs)-1]*bitDur
+	if got := d.PayloadStartAfterMatch(matchAt); got != wantStart {
+		t.Errorf("payload start = %v, want %v", got, wantStart)
+	}
+}
+
+func TestDecoderRejectsJitteredPreamble(t *testing.T) {
+	const bitDur = 50e-6
+	d, _ := NewDecoder(bitDur)
+	times, levels := preambleEdges(1.0, bitDur)
+	// Stretch two intervals by a full bit period each — beyond both the
+	// per-interval tolerance and the single-miss allowance.
+	for i := 3; i < len(times); i++ {
+		times[i] += 1.0 * bitDur
+	}
+	for i := 6; i < len(times); i++ {
+		times[i] += 1.0 * bitDur
+	}
+	for i := range times {
+		if d.OnEdge(times[i], levels[i]) {
+			t.Fatal("distorted preamble should not match")
+		}
+	}
+}
+
+func TestDecoderToleratesSmallJitter(t *testing.T) {
+	const bitDur = 50e-6
+	d, _ := NewDecoder(bitDur)
+	times, levels := preambleEdges(1.0, bitDur)
+	rnd := rng.New(5)
+	for i := range times {
+		times[i] += rnd.Gaussian(0, 0.05*bitDur)
+	}
+	matched := false
+	for i := range times {
+		if d.OnEdge(times[i], levels[i]) {
+			matched = true
+		}
+	}
+	if !matched {
+		t.Error("preamble with 5% jitter should still match")
+	}
+}
+
+func TestDecoderRareFalseMatchOnRandomTraffic(t *testing.T) {
+	// Random packet/gap durations should essentially never produce the
+	// preamble's 15-interval signature.
+	const bitDur = 50e-6
+	d, _ := NewDecoder(bitDur)
+	rnd := rng.New(6)
+	at := 0.0
+	level := false
+	matches := 0
+	for i := 0; i < 200_000; i++ {
+		at += rnd.Exponential(300e-6)
+		level = !level
+		if d.OnEdge(at, level) {
+			matches++
+		}
+	}
+	if matches > 2 {
+		t.Errorf("random traffic matched preamble %d times in 200k edges", matches)
+	}
+}
+
+func TestDecoderWakeAccounting(t *testing.T) {
+	d, _ := NewDecoder(50e-6)
+	times, levels := preambleEdges(0, 50e-6)
+	for i := range times {
+		d.OnEdge(times[i], levels[i])
+	}
+	if d.Wakeups != len(times) {
+		t.Errorf("wakeups = %d, want %d", d.Wakeups, len(times))
+	}
+	if d.AwakeTime <= 0 {
+		t.Error("awake time should accumulate")
+	}
+}
+
+func TestSampleMidBits(t *testing.T) {
+	d, _ := NewDecoder(50e-6)
+	// Comparator samples at 4 MHz: 200 per bit. Bits: 1,0,1.
+	var samples []bool
+	for _, b := range []bool{true, false, true} {
+		for i := 0; i < 200; i++ {
+			samples = append(samples, b)
+		}
+	}
+	got := d.SampleMidBits(samples, 4e6, 0, 3)
+	want := []bool{true, false, true}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d bits, want 3", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bit %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSampleMidBitsTruncates(t *testing.T) {
+	d, _ := NewDecoder(50e-6)
+	samples := make([]bool, 250) // 1.25 bits
+	got := d.SampleMidBits(samples, 4e6, 0, 5)
+	if len(got) != 1 {
+		t.Errorf("decoded %d bits from truncated input, want 1", len(got))
+	}
+}
+
+func TestMeanActivePower(t *testing.T) {
+	d, _ := NewDecoder(50e-6)
+	d.AwakeTime = 0.5
+	// Over 10 s: 0.5 s at 500 µW + 9.5 s at 1 µW = (250+9.5)/10 µW.
+	got := d.MeanActivePowerMicrowatt(10, 500, 1)
+	want := (0.5*500 + 9.5*1) / 10
+	if got != want {
+		t.Errorf("mean power = %v, want %v", got, want)
+	}
+	if d.MeanActivePowerMicrowatt(0, 500, 1) != 0 {
+		t.Error("zero horizon should return 0")
+	}
+}
+
+func TestDownlinkPreambleHasIrregularRuns(t *testing.T) {
+	runs, _ := preambleRuns(DownlinkPreamble)
+	if len(runs) < 8 {
+		t.Errorf("preamble should have many transitions, got %d runs", len(runs))
+	}
+	// Not all runs equal (a square wave would false-trigger constantly).
+	allSame := true
+	for _, r := range runs[1:] {
+		if r != runs[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Error("preamble run lengths should be irregular")
+	}
+}

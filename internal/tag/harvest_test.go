@@ -1,0 +1,112 @@
+package tag
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestWiFiHarvestAtOneFoot(t *testing.T) {
+	h := DefaultHarvester()
+	// §6: "the Wi-Fi power harvester can continuously run both the
+	// transmitter and receiver from a distance of one foot from the
+	// Wi-Fi reader".
+	got := h.WiFiHarvest(16, 0.3048)
+	if float64(got) < CircuitLoadMicrowatt {
+		t.Errorf("harvest at 1 ft = %v µW, want >= %v", got, CircuitLoadMicrowatt)
+	}
+}
+
+func TestTVHarvestDutyCycleAt10km(t *testing.T) {
+	h := DefaultHarvester()
+	// §6: dual-antenna system runs at ~50% duty cycle 10 km from a TV
+	// tower, independent of Wi-Fi reader distance.
+	supply := h.TVHarvest(10_000)
+	dc := DutyCycle(supply, CircuitLoadMicrowatt)
+	if dc < 0.3 || dc > 0.75 {
+		t.Errorf("duty cycle at 10 km = %v, want ~0.5", dc)
+	}
+}
+
+func TestHarvestFallsWithDistance(t *testing.T) {
+	h := DefaultHarvester()
+	prev := h.TVHarvest(1000)
+	for _, d := range []units.Meters{2000, 5000, 10000, 20000} {
+		cur := h.TVHarvest(d)
+		if cur >= prev {
+			t.Errorf("TV harvest not decreasing at %v m", d)
+		}
+		prev = cur
+	}
+}
+
+func TestHarvestGuards(t *testing.T) {
+	h := DefaultHarvester()
+	if h.WiFiHarvest(16, 0) != 0 {
+		t.Error("zero distance should harvest 0")
+	}
+	if h.WiFiHarvest(16, -1) != 0 {
+		t.Error("negative distance should harvest 0")
+	}
+	h.TVAperture = 0
+	if h.TVHarvest(1000) != 0 {
+		t.Error("zero aperture should harvest 0")
+	}
+}
+
+func TestDutyCycle(t *testing.T) {
+	if got := DutyCycle(5, 10); got != 0.5 {
+		t.Errorf("DutyCycle(5, 10) = %v, want 0.5", got)
+	}
+	if got := DutyCycle(20, 10); got != 1 {
+		t.Errorf("surplus supply should cap at 1, got %v", got)
+	}
+	if got := DutyCycle(0, 10); got != 0 {
+		t.Errorf("no supply should give 0, got %v", got)
+	}
+	if got := DutyCycle(5, 0); got != 1 {
+		t.Errorf("no load should give 1, got %v", got)
+	}
+}
+
+func TestCircuitLoadMatchesPaper(t *testing.T) {
+	if math.Abs(CircuitLoadMicrowatt-9.65) > 1e-9 {
+		t.Errorf("circuit load = %v µW, want 9.65 (0.65 tx + 9.0 rx)", CircuitLoadMicrowatt)
+	}
+}
+
+func TestReservoirChargeDraw(t *testing.T) {
+	r := &Reservoir{CapacityJoules: 1e-3}
+	r.Charge(100, 1) // 100 µW for 1 s = 1e-4 J
+	if math.Abs(r.Stored()-1e-4) > 1e-12 {
+		t.Errorf("stored = %v, want 1e-4", r.Stored())
+	}
+	if !r.Draw(50, 1) { // 5e-5 J available
+		t.Error("draw within budget should succeed")
+	}
+	if r.Draw(1000, 1) {
+		t.Error("draw beyond budget should fail")
+	}
+	if r.Stored() != 0 {
+		t.Errorf("over-draw should floor at 0, got %v", r.Stored())
+	}
+}
+
+func TestReservoirSaturates(t *testing.T) {
+	r := &Reservoir{CapacityJoules: 1e-6}
+	r.Charge(1e6, 10)
+	if r.Stored() != 1e-6 {
+		t.Errorf("stored = %v, want capacity 1e-6", r.Stored())
+	}
+}
+
+func TestHarvestContinuityAtReference(t *testing.T) {
+	// The piecewise model should not jump at the reference distance.
+	h := DefaultHarvester()
+	just := float64(h.TVHarvest(99.99))
+	at := float64(h.TVHarvest(100.01))
+	if math.Abs(just-at)/just > 0.01 {
+		t.Errorf("discontinuity at reference: %v vs %v", just, at)
+	}
+}

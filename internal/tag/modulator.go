@@ -1,0 +1,131 @@
+// Package tag implements the RF-powered Wi-Fi Backscatter tag: the uplink
+// switch modulator driven by a bit clock (§3.1, §6), the downlink analog
+// receiver circuit — envelope detector, peak finder, set-threshold and
+// comparator (§4.2) — the microcontroller's two-mode decoder (preamble
+// detection on comparator transitions, mid-bit sampling during packet
+// decode), and the energy harvesting / power budget model (§6).
+package tag
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+)
+
+// Message framing constants (§6): each uplink packet carries a preamble,
+// payload, and postamble. The preamble is the 13-bit Barker code chosen for
+// its autocorrelation properties; the postamble is its inverse, letting the
+// reader recover the bit clock at both ends.
+var (
+	// Preamble is the uplink preamble bit pattern.
+	Preamble = dsp.BarkerBits()
+	// Postamble is the inverted preamble.
+	Postamble = invertBits(dsp.BarkerBits())
+)
+
+func invertBits(b []bool) []bool {
+	out := make([]bool, len(b))
+	for i, v := range b {
+		out[i] = !v
+	}
+	return out
+}
+
+// FrameBits builds the on-air uplink bit sequence for a payload:
+// preamble + payload + postamble.
+func FrameBits(payload []bool) []bool {
+	out := make([]bool, 0, len(Preamble)+len(payload)+len(Postamble))
+	out = append(out, Preamble...)
+	out = append(out, payload...)
+	out = append(out, Postamble...)
+	return out
+}
+
+// ExpandWithCodes maps each payload bit to one of two chip codes (§3.4's
+// long-range coding): ones become code1, zeros become code0. The preamble
+// and postamble are not expanded — they remain plain bits so the reader's
+// preamble correlator is unchanged.
+func ExpandWithCodes(payload []bool, code0, code1 []float64) []bool {
+	b0, b1 := dsp.CodeBits(code0), dsp.CodeBits(code1)
+	var out []bool
+	for _, bit := range payload {
+		if bit {
+			out = append(out, b1...)
+		} else {
+			out = append(out, b0...)
+		}
+	}
+	return out
+}
+
+// Modulator drives the tag's RF switch: given the on-air bit sequence, a
+// start time and a bit duration, it answers "is the switch reflecting at
+// time t?". Outside the transmission the switch rests in the absorbing
+// state, and the tag presents a static channel.
+//
+// §3.1: the minimum bit period exceeds a Wi-Fi packet's duration so the
+// channel is stable within each packet; the bit rate adapts to network
+// traffic via BitDuration.
+type Modulator struct {
+	bits     []bool
+	start    float64
+	bitDur   float64
+	txPowerW float64 // switch drive power, watts
+}
+
+// TransmitPowerMicrowatt is the measured uplink circuit power (§6).
+const TransmitPowerMicrowatt = 0.65
+
+// NewModulator prepares a transmission of the given bit sequence starting
+// at start (seconds) with the given per-bit duration.
+func NewModulator(bits []bool, start, bitDuration float64) (*Modulator, error) {
+	if bitDuration <= 0 {
+		return nil, fmt.Errorf("tag: bit duration must be positive, got %v", bitDuration)
+	}
+	if len(bits) == 0 {
+		return nil, fmt.Errorf("tag: empty bit sequence")
+	}
+	return &Modulator{
+		bits:     append([]bool(nil), bits...),
+		start:    start,
+		bitDur:   bitDuration,
+		txPowerW: TransmitPowerMicrowatt * 1e-6,
+	}, nil
+}
+
+// StateAt reports whether the switch is reflecting at time t.
+func (m *Modulator) StateAt(t float64) bool {
+	if t < m.start {
+		return false
+	}
+	i := int((t - m.start) / m.bitDur)
+	if i >= len(m.bits) {
+		return false
+	}
+	return m.bits[i]
+}
+
+// Active reports whether the transmission covers time t.
+func (m *Modulator) Active(t float64) bool {
+	return t >= m.start && t < m.End()
+}
+
+// End returns the time the transmission completes.
+func (m *Modulator) End() float64 {
+	return m.start + float64(len(m.bits))*m.bitDur
+}
+
+// Start returns the transmission start time.
+func (m *Modulator) Start() float64 { return m.start }
+
+// BitDuration returns the per-bit duration in seconds.
+func (m *Modulator) BitDuration() float64 { return m.bitDur }
+
+// Bits returns a copy of the on-air bit sequence.
+func (m *Modulator) Bits() []bool { return append([]bool(nil), m.bits...) }
+
+// EnergyJoules returns the switch-drive energy consumed by the whole
+// transmission.
+func (m *Modulator) EnergyJoules() float64 {
+	return m.txPowerW * float64(len(m.bits)) * m.bitDur
+}

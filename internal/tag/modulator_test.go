@@ -1,0 +1,186 @@
+package tag
+
+import (
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func TestFrameBitsLayout(t *testing.T) {
+	payload := []bool{true, false, true}
+	bits := FrameBits(payload)
+	if len(bits) != 13+3+13 {
+		t.Fatalf("frame length = %d, want 29", len(bits))
+	}
+	for i, b := range Preamble {
+		if bits[i] != b {
+			t.Fatalf("preamble mismatch at %d", i)
+		}
+	}
+	for i, b := range payload {
+		if bits[13+i] != b {
+			t.Fatalf("payload mismatch at %d", i)
+		}
+	}
+	for i, b := range Postamble {
+		if bits[16+i] != b {
+			t.Fatalf("postamble mismatch at %d", i)
+		}
+	}
+}
+
+func TestPostambleIsInvertedPreamble(t *testing.T) {
+	for i := range Preamble {
+		if Postamble[i] == Preamble[i] {
+			t.Fatalf("postamble bit %d not inverted", i)
+		}
+	}
+}
+
+func TestNewModulatorValidation(t *testing.T) {
+	if _, err := NewModulator([]bool{true}, 0, 0); err == nil {
+		t.Error("zero bit duration should error")
+	}
+	if _, err := NewModulator(nil, 0, 0.01); err == nil {
+		t.Error("empty bits should error")
+	}
+}
+
+func TestModulatorStateAt(t *testing.T) {
+	bits := []bool{true, false, true, true}
+	m, err := NewModulator(bits, 1.0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    float64
+		want bool
+	}{
+		{0.5, false},   // before start: absorbing
+		{1.005, true},  // bit 0
+		{1.015, false}, // bit 1
+		{1.025, true},  // bit 2
+		{1.035, true},  // bit 3
+		{1.045, false}, // after end
+	}
+	for _, c := range cases {
+		if got := m.StateAt(c.t); got != c.want {
+			t.Errorf("StateAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestModulatorTiming(t *testing.T) {
+	m, _ := NewModulator(make([]bool, 90), 2, 0.01)
+	if m.Start() != 2 {
+		t.Errorf("Start = %v", m.Start())
+	}
+	if got := m.End(); got != 2.9 {
+		t.Errorf("End = %v, want 2.9", got)
+	}
+	if m.Active(1.99) || !m.Active(2.5) || m.Active(2.9) {
+		t.Error("Active window wrong")
+	}
+	if m.BitDuration() != 0.01 {
+		t.Errorf("BitDuration = %v", m.BitDuration())
+	}
+}
+
+func TestModulatorBitsCopied(t *testing.T) {
+	src := []bool{true, false}
+	m, _ := NewModulator(src, 0, 1)
+	src[0] = false
+	if !m.StateAt(0.5) {
+		t.Error("modulator must copy its bit sequence")
+	}
+	got := m.Bits()
+	got[1] = true
+	if m.StateAt(1.5) {
+		t.Error("Bits() must return a copy")
+	}
+}
+
+func TestModulatorEnergy(t *testing.T) {
+	// 90 bits at 10 ms each = 0.9 s at 0.65 µW.
+	m, _ := NewModulator(make([]bool, 90), 0, 0.01)
+	want := 0.65e-6 * 0.9
+	if got := m.EnergyJoules(); got < want*0.99 || got > want*1.01 {
+		t.Errorf("energy = %v J, want ~%v", got, want)
+	}
+}
+
+func TestExpandWithCodes(t *testing.T) {
+	code0, code1, err := dsp.WalshPair(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ExpandWithCodes([]bool{true, false}, code0, code1)
+	if len(out) != 8 {
+		t.Fatalf("expanded length = %d, want 8", len(out))
+	}
+	b0, b1 := dsp.CodeBits(code0), dsp.CodeBits(code1)
+	for i := 0; i < 4; i++ {
+		if out[i] != b1[i] {
+			t.Errorf("one-bit chip %d = %v, want code1", i, out[i])
+		}
+		if out[4+i] != b0[i] {
+			t.Errorf("zero-bit chip %d = %v, want code0", i, out[4+i])
+		}
+	}
+}
+
+func TestScrambleInvolution(t *testing.T) {
+	bits := make([]bool, 200)
+	for i := range bits {
+		bits[i] = i%7 == 0
+	}
+	twice := Scramble(Scramble(bits))
+	for i := range bits {
+		if twice[i] != bits[i] {
+			t.Fatalf("Scramble is not an involution at bit %d", i)
+		}
+	}
+}
+
+func TestScrambleBalancesRuns(t *testing.T) {
+	// A long run of zeros must come out roughly balanced.
+	zeros := make([]bool, 256)
+	out := Scramble(zeros)
+	ones := 0
+	longest, run := 0, 0
+	var prev bool
+	for i, b := range out {
+		if b {
+			ones++
+		}
+		if i > 0 && b == prev {
+			run++
+		} else {
+			run = 1
+		}
+		if run > longest {
+			longest = run
+		}
+		prev = b
+	}
+	if ones < 96 || ones > 160 {
+		t.Errorf("scrambled zeros have %d/256 ones, want ~half", ones)
+	}
+	if longest > 10 {
+		t.Errorf("scrambled zeros contain a run of %d, want short runs", longest)
+	}
+}
+
+func TestScrambleDiffersFromInput(t *testing.T) {
+	zeros := make([]bool, 64)
+	out := Scramble(zeros)
+	same := true
+	for _, b := range out {
+		if b {
+			same = false
+		}
+	}
+	if same {
+		t.Error("Scramble left an all-zero payload unchanged")
+	}
+}

@@ -1,0 +1,21 @@
+package tag
+
+// Scramble XORs bits with a fixed PN (pseudo-noise) sequence so that
+// structured payloads — long runs of zeros in small integers, for example —
+// become DC-balanced on air. The reader's signal conditioning subtracts a
+// moving average, which would otherwise flatten a long constant run into
+// undecodable residue. Scrambling is an involution: applying it twice
+// restores the original bits, so the receiver calls the same function.
+//
+// The sequence comes from a 7-bit maximal-length LFSR (x⁷+x⁶+1), the
+// scrambler polynomial 802.11 itself uses.
+func Scramble(bits []bool) []bool {
+	out := make([]bool, len(bits))
+	state := uint8(0x7F) // non-zero seed
+	for i, b := range bits {
+		fb := ((state >> 6) ^ (state >> 5)) & 1
+		state = (state<<1 | fb) & 0x7F
+		out[i] = b != (fb == 1)
+	}
+	return out
+}

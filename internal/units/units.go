@@ -1,0 +1,119 @@
+// Package units provides the physical unit types and conversions used
+// throughout the Wi-Fi Backscatter simulator: power in dBm and milliwatts,
+// gains in dB, frequencies, wavelengths, and distances.
+//
+// Power quantities are kept in explicit types so that linear and logarithmic
+// values cannot be mixed up silently. All conversions are pure functions.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpeedOfLight is the propagation speed of RF signals in m/s.
+const SpeedOfLight = 299_792_458.0
+
+// DBm is a power level in decibel-milliwatts.
+type DBm float64
+
+// Milliwatt is a linear power in mW.
+type Milliwatt float64
+
+// DB is a dimensionless gain or loss in decibels.
+type DB float64
+
+// Hertz is a frequency in Hz.
+type Hertz float64
+
+// Common frequency multiples.
+const (
+	KHz Hertz = 1e3
+	MHz Hertz = 1e6
+	GHz Hertz = 1e9
+)
+
+// Meters is a distance in meters.
+type Meters float64
+
+// Centimeters converts a distance expressed in centimeters to Meters.
+func Centimeters(cm float64) Meters { return Meters(cm / 100) }
+
+// Cm reports the distance in centimeters.
+func (m Meters) Cm() float64 { return float64(m) * 100 }
+
+// Milliwatts converts a dBm power level to linear milliwatts.
+func (p DBm) Milliwatts() Milliwatt {
+	return Milliwatt(math.Pow(10, float64(p)/10))
+}
+
+// DBm converts a linear milliwatt power to dBm. Non-positive powers map to
+// -inf dBm.
+func (p Milliwatt) DBm() DBm {
+	if p <= 0 {
+		return DBm(math.Inf(-1))
+	}
+	return DBm(10 * math.Log10(float64(p)))
+}
+
+// Add applies a gain (or loss, if negative) in dB to a power level.
+func (p DBm) Add(g DB) DBm { return p + DBm(g) }
+
+// Sub returns the difference between two power levels as a gain in dB.
+func (p DBm) Sub(q DBm) DB { return DB(p - q) }
+
+// Linear converts a dB gain to a linear power ratio.
+func (g DB) Linear() float64 { return math.Pow(10, float64(g)/10) }
+
+// AmplitudeRatio converts a dB gain to a linear amplitude (voltage) ratio.
+func (g DB) AmplitudeRatio() float64 { return math.Pow(10, float64(g)/20) }
+
+// RatioDB converts a linear power ratio to dB. Non-positive ratios map to
+// -inf dB.
+func RatioDB(r float64) DB {
+	if r <= 0 {
+		return DB(math.Inf(-1))
+	}
+	return DB(10 * math.Log10(r))
+}
+
+// Wavelength returns the free-space wavelength of a carrier frequency.
+func (f Hertz) Wavelength() Meters {
+	return Meters(SpeedOfLight / float64(f))
+}
+
+// String implements fmt.Stringer.
+func (p DBm) String() string { return fmt.Sprintf("%.2f dBm", float64(p)) }
+
+// String implements fmt.Stringer.
+func (g DB) String() string { return fmt.Sprintf("%.2f dB", float64(g)) }
+
+// String implements fmt.Stringer.
+func (f Hertz) String() string {
+	switch {
+	case f >= GHz:
+		return fmt.Sprintf("%.3f GHz", float64(f)/1e9)
+	case f >= MHz:
+		return fmt.Sprintf("%.3f MHz", float64(f)/1e6)
+	case f >= KHz:
+		return fmt.Sprintf("%.3f kHz", float64(f)/1e3)
+	}
+	return fmt.Sprintf("%.0f Hz", float64(f))
+}
+
+// String implements fmt.Stringer.
+func (m Meters) String() string {
+	if m < 1 {
+		return fmt.Sprintf("%.1f cm", m.Cm())
+	}
+	return fmt.Sprintf("%.2f m", float64(m))
+}
+
+// Microwatt is a linear power in µW, used for the tag's power budget.
+type Microwatt float64
+
+// Milliwatts converts µW to mW.
+func (p Microwatt) Milliwatts() Milliwatt { return Milliwatt(p / 1000) }
+
+// Microwatts converts mW to µW.
+func (p Milliwatt) Microwatts() Microwatt { return Microwatt(p * 1000) }

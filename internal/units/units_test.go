@@ -1,0 +1,121 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBmMilliwattRoundTrip(t *testing.T) {
+	cases := []struct {
+		dbm DBm
+		mw  Milliwatt
+	}{
+		{0, 1},
+		{10, 10},
+		{20, 100},
+		{-30, 0.001},
+		{16, 39.810717},
+	}
+	for _, c := range cases {
+		if got := c.dbm.Milliwatts(); math.Abs(float64(got-c.mw)) > 1e-6*math.Abs(float64(c.mw)) {
+			t.Errorf("%v.Milliwatts() = %v, want %v", c.dbm, got, c.mw)
+		}
+		if got := c.mw.DBm(); math.Abs(float64(got-c.dbm)) > 1e-6 {
+			t.Errorf("%v.DBm() = %v, want %v", c.mw, got, c.dbm)
+		}
+	}
+}
+
+func TestDBmRoundTripProperty(t *testing.T) {
+	f := func(p float64) bool {
+		// Constrain to a sane power range to avoid overflow.
+		p = math.Mod(p, 200)
+		dbm := DBm(p)
+		back := dbm.Milliwatts().DBm()
+		return math.Abs(float64(back-dbm)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNonPositivePower(t *testing.T) {
+	if got := Milliwatt(0).DBm(); !math.IsInf(float64(got), -1) {
+		t.Errorf("0 mW should be -inf dBm, got %v", got)
+	}
+	if got := Milliwatt(-5).DBm(); !math.IsInf(float64(got), -1) {
+		t.Errorf("-5 mW should be -inf dBm, got %v", got)
+	}
+	if got := RatioDB(0); !math.IsInf(float64(got), -1) {
+		t.Errorf("RatioDB(0) should be -inf, got %v", got)
+	}
+}
+
+func TestGainArithmetic(t *testing.T) {
+	p := DBm(16)
+	if got := p.Add(-46.8); math.Abs(float64(got-(-30.8))) > 1e-9 {
+		t.Errorf("16 dBm - 46.8 dB = %v, want -30.8 dBm", got)
+	}
+	if got := DBm(10).Sub(DBm(4)); got != 6 {
+		t.Errorf("10 dBm - 4 dBm = %v dB, want 6", got)
+	}
+}
+
+func TestDBLinear(t *testing.T) {
+	if got := DB(3).Linear(); math.Abs(got-1.9952623) > 1e-6 {
+		t.Errorf("3 dB linear = %v", got)
+	}
+	if got := DB(20).AmplitudeRatio(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("20 dB amplitude ratio = %v, want 10", got)
+	}
+	if got := RatioDB(100); math.Abs(float64(got-20)) > 1e-9 {
+		t.Errorf("RatioDB(100) = %v, want 20", got)
+	}
+}
+
+func TestWavelength(t *testing.T) {
+	// 2.437 GHz (Wi-Fi channel 6) has a wavelength of about 12.3 cm.
+	got := (2.437 * GHz).Wavelength()
+	if math.Abs(float64(got)-0.12302) > 1e-4 {
+		t.Errorf("wavelength(2.437 GHz) = %v, want ~0.123 m", got)
+	}
+}
+
+func TestDistanceConversions(t *testing.T) {
+	if got := Centimeters(65); math.Abs(float64(got)-0.65) > 1e-12 {
+		t.Errorf("Centimeters(65) = %v", got)
+	}
+	if got := Meters(2.13).Cm(); math.Abs(got-213) > 1e-9 {
+		t.Errorf("2.13 m in cm = %v", got)
+	}
+}
+
+func TestMicrowatt(t *testing.T) {
+	if got := Microwatt(9).Milliwatts(); math.Abs(float64(got)-0.009) > 1e-12 {
+		t.Errorf("9 µW = %v mW", got)
+	}
+	if got := Milliwatt(1).Microwatts(); got != 1000 {
+		t.Errorf("1 mW = %v µW", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{DBm(16).String(), "16.00 dBm"},
+		{DB(-46.8).String(), "-46.80 dB"},
+		{(2.437 * GHz).String(), "2.437 GHz"},
+		{(20 * MHz).String(), "20.000 MHz"},
+		{(312.5 * KHz).String(), "312.500 kHz"},
+		{Hertz(100).String(), "100 Hz"},
+		{Meters(0.65).String(), "65.0 cm"},
+		{Meters(2.13).String(), "2.13 m"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}

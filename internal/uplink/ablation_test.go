@@ -1,0 +1,166 @@
+package uplink
+
+import (
+	"testing"
+
+	"repro/internal/tag"
+)
+
+// ablationTrial decodes one synthetic transmission with the given variant
+// and returns the bit error count.
+func ablationTrial(t *testing.T, v Variant, cfg synthConfig, seed int64) int {
+	t.Helper()
+	payload := randomPayload(90, seed)
+	const bitDur = 0.01
+	mod, err := tag.NewModulator(tag.FrameBits(payload), 1.0, bitDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.duration = mod.End() + 0.5
+	s := synthSeries(cfg, mod, seed+500)
+	d, _ := NewDecoder(DefaultConfig(bitDur))
+	res, err := d.DecodeVariant(s, mod.Start(), len(payload), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return countBitErrors(res.Payload, payload)
+}
+
+func TestPaperVariantMatchesDecodeCSI(t *testing.T) {
+	payload := randomPayload(90, 1)
+	const bitDur = 0.01
+	mod, _ := tag.NewModulator(tag.FrameBits(payload), 1.0, bitDur)
+	cfg := defaultSynth()
+	cfg.duration = mod.End() + 0.5
+	s := synthSeries(cfg, mod, 2)
+	d, _ := NewDecoder(DefaultConfig(bitDur))
+	a, err := d.DecodeCSI(s, mod.Start(), len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.DecodeVariant(s, mod.Start(), len(payload), PaperVariant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Payload {
+		if a.Payload[i] != b.Payload[i] {
+			t.Fatalf("paper variant diverges from DecodeCSI at bit %d", i)
+		}
+	}
+}
+
+func TestMRCBeatsBestSingleAtWeakDepth(t *testing.T) {
+	cfg := defaultSynth()
+	cfg.depth = 0.04
+	var mrc, single int
+	for seed := int64(0); seed < 4; seed++ {
+		mrc += ablationTrial(t, PaperVariant, cfg, 30+seed)
+		single += ablationTrial(t, Variant{Combining: CombineBestSingle}, cfg, 30+seed)
+	}
+	if mrc > single {
+		t.Errorf("MRC errors (%d) should not exceed best-single errors (%d)", mrc, single)
+	}
+}
+
+func TestEqualGainNoBetterThanMRC(t *testing.T) {
+	cfg := defaultSynth()
+	cfg.depth = 0.035
+	var mrc, eq int
+	for seed := int64(0); seed < 5; seed++ {
+		mrc += ablationTrial(t, PaperVariant, cfg, 60+seed)
+		eq += ablationTrial(t, Variant{Combining: CombineEqualGain}, cfg, 60+seed)
+	}
+	// MRC is optimal for unequal noise; allow ties but not a clear loss.
+	if mrc > eq+3 {
+		t.Errorf("MRC errors (%d) should not exceed equal-gain errors (%d) by a margin", mrc, eq)
+	}
+}
+
+func TestHysteresisHelpsWithSpikes(t *testing.T) {
+	// Inject heavy-tailed spikes: hysteresis+vote should beat bit-mean,
+	// which a single spike inside a bit can flip.
+	cfg := defaultSynth()
+	cfg.depth = 0.15
+	mkSeries := func(seed int64) int {
+		payload := randomPayload(90, seed)
+		mod, _ := tag.NewModulator(tag.FrameBits(payload), 1.0, 0.01)
+		cfg.duration = mod.End() + 0.5
+		s := synthSeries(cfg, mod, seed+900)
+		// Spike 3% of measurements by 20x.
+		spike := 0
+		for i := range s.Measurements {
+			if i%33 == 0 {
+				for a := range s.Measurements[i].CSI {
+					for k := range s.Measurements[i].CSI[a] {
+						s.Measurements[i].CSI[a][k] *= 20
+					}
+				}
+				spike++
+			}
+		}
+		d, _ := NewDecoder(DefaultConfig(0.01))
+		hv, err := d.DecodeVariant(s, mod.Start(), len(payload), PaperVariant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, err := d.DecodeVariant(s, mod.Start(), len(payload), Variant{Decision: DecideBitMean})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return countBitErrors(bm.Payload, payload) - countBitErrors(hv.Payload, payload)
+	}
+	total := 0
+	for seed := int64(0); seed < 3; seed++ {
+		total += mkSeries(100 + seed)
+	}
+	if total < 0 {
+		t.Errorf("bit-mean should not beat hysteresis+vote under spikes (diff %d)", total)
+	}
+}
+
+func TestTimestampBinningBeatsEqualCountUnderBursts(t *testing.T) {
+	// Bursty packet timing: equal-count binning misassigns measurements.
+	cfg := defaultSynth()
+	cfg.depth = 0.15
+	cfg.jitter = 1.8 // heavily irregular arrivals
+	var tsErrs, eqErrs int
+	for seed := int64(0); seed < 4; seed++ {
+		tsErrs += ablationTrial(t, PaperVariant, cfg, 200+seed)
+		eqErrs += ablationTrial(t, Variant{Binning: BinEqualCount}, cfg, 200+seed)
+	}
+	if tsErrs > eqErrs {
+		t.Errorf("timestamp binning (%d errors) should not lose to equal-count (%d)", tsErrs, eqErrs)
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	v := Variant{CombineEqualGain, DecidePlainVote, BinEqualCount}
+	if got := v.String(); got != "equal-gain/plain-vote/equal-count" {
+		t.Errorf("Variant.String() = %q", got)
+	}
+	if PaperVariant.String() != "mrc/hysteresis-vote/timestamp" {
+		t.Errorf("PaperVariant.String() = %q", PaperVariant.String())
+	}
+}
+
+func TestDecodeVariantValidation(t *testing.T) {
+	d, _ := NewDecoder(DefaultConfig(0.01))
+	mod, _ := tag.NewModulator([]bool{true}, 0, 0.01)
+	s := synthSeries(defaultSynth(), mod, 1)
+	if _, err := d.DecodeVariant(s, 0, 0, PaperVariant); err == nil {
+		t.Error("zero payload should error")
+	}
+}
+
+func TestBinEqualCount(t *testing.T) {
+	ts := []float64{0.1, 1.1, 1.2, 1.3, 1.4, 5.0}
+	// Window [1.0, 1.4): three in-window samples split 2/1.
+	bins := binEqualCount(ts, 1.0, 0.2, 2)
+	if len(bins[0]) != 2 || len(bins[1]) != 1 {
+		t.Errorf("equal-count bins = %v", bins)
+	}
+	empty := binEqualCount(ts, 100, 0.2, 2)
+	if len(empty[0]) != 0 || len(empty[1]) != 0 {
+		t.Errorf("out-of-window bins should be empty: %v", empty)
+	}
+}

@@ -1,0 +1,77 @@
+package uplink
+
+import (
+	"testing"
+
+	"repro/internal/csi"
+	"repro/internal/dsp"
+	"repro/internal/tag"
+)
+
+// benchSeries builds one reusable synthetic transmission for decoder
+// micro-benchmarks.
+func benchSeries(b *testing.B) (*csi.Series, *tag.Modulator, []bool) {
+	b.Helper()
+	payload := randomPayload(90, 1)
+	mod, err := tag.NewModulator(tag.FrameBits(payload), 1.0, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := defaultSynth()
+	cfg.duration = mod.End() + 0.5
+	return synthSeries(cfg, mod, 2), mod, payload
+}
+
+func BenchmarkDecodeCSI(b *testing.B) {
+	s, mod, _ := benchSeries(b)
+	d, _ := NewDecoder(DefaultConfig(0.01))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.DecodeCSI(s, mod.Start(), 90); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeRSSI(b *testing.B) {
+	s, mod, _ := benchSeries(b)
+	d, _ := NewDecoder(DefaultConfig(0.01))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.DecodeRSSI(s, mod.Start(), 90); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeLongRange(b *testing.B) {
+	payload := randomPayload(16, 3)
+	code0, code1, _ := dsp.WalshPair(20)
+	chips := tag.ExpandWithCodes(payload, code0, code1)
+	frame := append(append(append([]bool{}, tag.Preamble...), chips...), tag.Postamble...)
+	mod, _ := tag.NewModulator(frame, 1.0, 0.005)
+	cfg := defaultSynth()
+	cfg.duration = mod.End() + 0.5
+	s := synthSeries(cfg, mod, 4)
+	d, _ := NewDecoder(DefaultConfig(0.005))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.DecodeLongRange(s, mod.Start(), 16, code0, code1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectAck(b *testing.B) {
+	mod, _ := tag.NewModulator(AckBits(), 1.0, 0.01)
+	cfg := defaultSynth()
+	cfg.duration = mod.End() + 0.5
+	s := synthSeries(cfg, mod, 5)
+	d, _ := NewDecoder(DefaultConfig(0.01))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.DetectAck(s, mod.Start()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

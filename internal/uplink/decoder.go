@@ -1,0 +1,417 @@
+// Package uplink implements the Wi-Fi reader's decoding of tag
+// transmissions from channel measurements — the paper's core contribution
+// (§3). The pipeline is:
+//
+//  1. Signal conditioning: subtract a moving average (400 ms window) to
+//     remove environmental drift, then normalize so the two switch states
+//     map to ±1 (§3.2 step 1).
+//  2. Frequency/spatial diversity: bin measurements into tag bits using
+//     per-packet timestamps, correlate each (antenna, sub-channel) pair
+//     with the known Barker preamble, and keep the best G sub-channels
+//     (§3.2 step 2a).
+//  3. Maximum-ratio combining: weight each good sub-channel by 1/σ², with
+//     σ² estimated from its preamble residual (§3.2 step 2b).
+//  4. Decision: hysteresis thresholds at µ ± σ/2 suppress spurious CSI
+//     jumps, and a majority vote across the measurements of each bit
+//     produces the decoded bit (§3.2 step 3).
+//
+// DecodeRSSI applies the same conditioning/hysteresis/vote machinery to
+// the best single RSSI channel (§3.3). DecodeLongRange implements the
+// orthogonal-code correlation decoder that extends range at the cost of
+// rate (§3.4).
+package uplink
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/csi"
+	"repro/internal/dsp"
+)
+
+// Config tunes the decoder. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// BitDuration of tag bits in seconds.
+	BitDuration float64
+	// ConditionWindow is the moving-average window in seconds (§3.2 uses
+	// 400 ms).
+	ConditionWindow float64
+	// GoodSubchannels is the number of sub-channels kept after preamble
+	// correlation ranking (§3.2 picks the top ten).
+	GoodSubchannels int
+	// MinCorrelation is the preamble correlation below which a
+	// transmission is not considered detected.
+	MinCorrelation float64
+}
+
+// DefaultConfig returns the paper's decoder parameters.
+func DefaultConfig(bitDuration float64) Config {
+	return Config{
+		BitDuration:     bitDuration,
+		ConditionWindow: 0.4,
+		GoodSubchannels: 10,
+		MinCorrelation:  0.5,
+	}
+}
+
+// ChannelID names one measurement channel: an (antenna, sub-channel) CSI
+// pair, or an antenna's RSSI when Subchannel is -1.
+type ChannelID struct {
+	Antenna    int
+	Subchannel int
+}
+
+// String implements fmt.Stringer.
+func (c ChannelID) String() string {
+	if c.Subchannel < 0 {
+		return fmt.Sprintf("rssi[ant %d]", c.Antenna)
+	}
+	return fmt.Sprintf("csi[ant %d, sub %d]", c.Antenna, c.Subchannel)
+}
+
+// Result is a decoded uplink transmission.
+type Result struct {
+	// Payload holds the decoded payload bits.
+	Payload []bool
+	// Good lists the channels selected for combining, best first.
+	Good []ChannelID
+	// PreambleCorrelation is the best channel's preamble correlation.
+	PreambleCorrelation float64
+	// MeasurementsPerBit is the mean number of channel measurements each
+	// bit was decoded from.
+	MeasurementsPerBit float64
+}
+
+// preambleLevels is the ±1 template of the tag preamble.
+var preambleLevels = dsp.Barker13
+
+// nFrameBits returns the total on-air bits for a payload length:
+// 13 preamble + payload + 13 postamble.
+func nFrameBits(payloadLen int) int { return 13 + payloadLen + 13 }
+
+// binByTimestamp groups measurement indices into tag-bit bins using the
+// per-packet timestamps (§3.2: "we use the timestamp that is in every
+// Wi-Fi packet header to accurately group Wi-Fi packets belonging to the
+// same bit transmission").
+func binByTimestamp(ts []float64, start, bitDur float64, nbits int) [][]int {
+	bins := make([][]int, nbits)
+	for i, t := range ts {
+		j := int(math.Floor((t - start) / bitDur))
+		if j < 0 || j >= nbits {
+			continue
+		}
+		bins[j] = append(bins[j], i)
+	}
+	return bins
+}
+
+// windowSamples converts the conditioning window from seconds to a sample
+// count using the series' average measurement spacing.
+func windowSamples(ts []float64, window float64) int {
+	if len(ts) < 2 {
+		return 1
+	}
+	span := ts[len(ts)-1] - ts[0]
+	if span <= 0 {
+		return 1
+	}
+	spacing := span / float64(len(ts)-1)
+	n := int(window / spacing)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// binMeans averages values per bin; empty bins yield 0 with ok=false.
+func binMeans(values []float64, bins [][]int) (means []float64, ok []bool) {
+	means = make([]float64, len(bins))
+	ok = make([]bool, len(bins))
+	for j, idx := range bins {
+		if len(idx) == 0 {
+			continue
+		}
+		var sum float64
+		for _, i := range idx {
+			sum += values[i]
+		}
+		means[j] = sum / float64(len(idx))
+		ok[j] = true
+	}
+	return means, ok
+}
+
+// channelStats holds one channel's preamble fit.
+type channelStats struct {
+	id       ChannelID
+	corr     float64 // signed preamble correlation
+	sign     float64 // polarity (+1/-1)
+	variance float64 // per-measurement residual variance during preamble
+	cond     []float64
+}
+
+// windowFor returns the conditioning window in seconds. The configured
+// 400 ms window must span many bit periods — a window comparable to a run
+// of identical bits subtracts the tag's own modulation, which matters for
+// slow links such as beacon-only decoding (Fig. 16) — so it is floored at
+// 24 bits (the paper's 400 ms is 40 bits at its usual 100 bps). Because
+// decoding slices the measurement series to the frame (see frameRange),
+// the window may exceed the frame without the idle-level bias that
+// out-of-frame samples would introduce.
+func (c Config) windowFor(frameBits int) float64 {
+	w := c.ConditionWindow
+	if min := 24 * c.BitDuration; w < min {
+		w = min
+	}
+	return w
+}
+
+// frameRange returns the index range [lo, hi) of timestamps within the
+// transmission window, assuming ts is non-decreasing. Conditioning only
+// in-frame measurements keeps the tag's idle level (which equals the
+// zero-bit level) out of the baseline estimate.
+func frameRange(ts []float64, start, end float64) (lo, hi int) {
+	lo = sort.SearchFloat64s(ts, start)
+	hi = lo
+	for hi < len(ts) && ts[hi] < end {
+		hi++
+	}
+	return lo, hi
+}
+
+// analyzeChannel conditions one raw series and scores it against the
+// preamble.
+func analyzeChannel(id ChannelID, raw []float64, ts []float64, bins [][]int, cfg Config) channelStats {
+	cond := dsp.ConditionTwoPass(raw, windowSamples(ts, cfg.windowFor(len(bins))))
+	means, ok := binMeans(cond, bins)
+	// Preamble correlation over the first 13 bit bins.
+	var dot, mm, pp float64
+	for j := 0; j < len(preambleLevels) && j < len(means); j++ {
+		if !ok[j] {
+			continue
+		}
+		dot += means[j] * preambleLevels[j]
+		mm += means[j] * means[j]
+		pp += preambleLevels[j] * preambleLevels[j]
+	}
+	st := channelStats{id: id, cond: cond, sign: 1}
+	if mm > 0 && pp > 0 {
+		st.corr = dot / math.Sqrt(mm*pp)
+	}
+	if st.corr < 0 {
+		st.sign = -1
+	}
+	// Per-measurement residual variance over the preamble bins, with the
+	// template sign applied.
+	var res, n float64
+	for j := 0; j < len(preambleLevels) && j < len(bins); j++ {
+		for _, i := range bins[j] {
+			d := st.sign*cond[i] - preambleLevels[j]
+			res += d * d
+			n++
+		}
+	}
+	if n > 1 {
+		st.variance = res / (n - 1)
+	} else {
+		st.variance = math.Inf(1)
+	}
+	if st.variance < 1e-9 {
+		st.variance = 1e-9
+	}
+	return st
+}
+
+// Decoder decodes tag transmissions from measurement series.
+type Decoder struct {
+	cfg Config
+}
+
+// NewDecoder validates the config and returns a decoder.
+func NewDecoder(cfg Config) (*Decoder, error) {
+	if cfg.BitDuration <= 0 {
+		return nil, fmt.Errorf("uplink: bit duration must be positive, got %v", cfg.BitDuration)
+	}
+	if cfg.ConditionWindow <= 0 {
+		return nil, fmt.Errorf("uplink: condition window must be positive, got %v", cfg.ConditionWindow)
+	}
+	if cfg.GoodSubchannels <= 0 {
+		return nil, fmt.Errorf("uplink: need at least one good sub-channel")
+	}
+	return &Decoder{cfg: cfg}, nil
+}
+
+// Config returns the decoder's configuration.
+func (d *Decoder) Config() Config { return d.cfg }
+
+// DecodeCSI decodes a payload of payloadLen bits from the CSI series of a
+// transmission starting at start. The series must cover the transmission.
+func (d *Decoder) DecodeCSI(s *csi.Series, start float64, payloadLen int) (*Result, error) {
+	if payloadLen <= 0 {
+		return nil, fmt.Errorf("uplink: payload length must be positive, got %d", payloadLen)
+	}
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("uplink: empty measurement series")
+	}
+	nbits := nFrameBits(payloadLen)
+	ts := s.Timestamps()
+	lo, hi := frameRange(ts, start, start+float64(nbits)*d.cfg.BitDuration)
+	if lo == hi {
+		return nil, fmt.Errorf("uplink: no measurements inside the transmission window")
+	}
+	ts = ts[lo:hi]
+	bins := binByTimestamp(ts, start, d.cfg.BitDuration, nbits)
+	var stats []channelStats
+	for a := 0; a < s.Antennas(); a++ {
+		for k := 0; k < s.Subchannels(); k++ {
+			raw, err := s.CSIChannel(a, k)
+			if err != nil {
+				return nil, err
+			}
+			stats = append(stats, analyzeChannel(ChannelID{a, k}, raw[lo:hi], ts, bins, d.cfg))
+		}
+	}
+	return d.combineAndDecide(stats, bins, payloadLen)
+}
+
+// DecodeRSSI decodes using only RSSI: the antenna with the best preamble
+// correlation is selected (§3.3) and decoded alone.
+func (d *Decoder) DecodeRSSI(s *csi.Series, start float64, payloadLen int) (*Result, error) {
+	if payloadLen <= 0 {
+		return nil, fmt.Errorf("uplink: payload length must be positive, got %d", payloadLen)
+	}
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("uplink: empty measurement series")
+	}
+	nbits := nFrameBits(payloadLen)
+	ts := s.Timestamps()
+	lo, hi := frameRange(ts, start, start+float64(nbits)*d.cfg.BitDuration)
+	if lo == hi {
+		return nil, fmt.Errorf("uplink: no measurements inside the transmission window")
+	}
+	ts = ts[lo:hi]
+	bins := binByTimestamp(ts, start, d.cfg.BitDuration, nbits)
+	var stats []channelStats
+	for a := 0; a < s.Antennas(); a++ {
+		raw, err := s.RSSIChannel(a)
+		if err != nil {
+			return nil, err
+		}
+		stats = append(stats, analyzeChannel(ChannelID{a, -1}, raw[lo:hi], ts, bins, d.cfg))
+	}
+	// RSSI mode uses the single best channel.
+	sort.Slice(stats, func(i, j int) bool {
+		return math.Abs(stats[i].corr) > math.Abs(stats[j].corr)
+	})
+	return d.combineSelected(stats[:1], bins, payloadLen)
+}
+
+// combineAndDecide ranks channels by |preamble correlation|, keeps the top
+// G, and decides bits.
+func (d *Decoder) combineAndDecide(stats []channelStats, bins [][]int, payloadLen int) (*Result, error) {
+	sort.Slice(stats, func(i, j int) bool {
+		return math.Abs(stats[i].corr) > math.Abs(stats[j].corr)
+	})
+	g := d.cfg.GoodSubchannels
+	if g > len(stats) {
+		g = len(stats)
+	}
+	return d.combineSelected(stats[:g], bins, payloadLen)
+}
+
+// combineSelected performs MRC over the selected channels and decodes the
+// payload bits with hysteresis + majority voting.
+func (d *Decoder) combineSelected(sel []channelStats, bins [][]int, payloadLen int) (*Result, error) {
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("uplink: no channels to combine")
+	}
+	n := len(sel[0].cond)
+	// Per-measurement MRC: y_t = Σ sign_i · c_i(t) / σ_i².
+	combined := make([]float64, n)
+	for _, st := range sel {
+		w := st.sign / st.variance
+		for t, v := range st.cond {
+			combined[t] += w * v
+		}
+	}
+	// Hysteresis thresholds from the combined series statistics
+	// (µ ± σ/2, §3.2). The scale estimator is the mean absolute
+	// deviation: for the bimodal ±A series it gives ~A (a dead zone of
+	// ±A/2, as intended), it stays centered between the lobes even for
+	// unbalanced payloads (unlike the median), and heavy-tailed spurious
+	// CSI jumps inflate it only linearly (unlike the standard
+	// deviation).
+	mu := dsp.Mean(combined)
+	sd := dsp.MeanAbsDev(combined)
+	hyst := dsp.NewHysteresis(mu, sd)
+	decisions := make([]float64, n)
+	for t, v := range combined {
+		if hyst.Update(v) {
+			decisions[t] = 1
+		} else {
+			decisions[t] = -1
+		}
+	}
+	// Majority vote per payload bit.
+	payload := make([]bool, payloadLen)
+	var measured float64
+	for b := 0; b < payloadLen; b++ {
+		bin := bins[13+b]
+		votes := make([]float64, len(bin))
+		for i, idx := range bin {
+			votes[i] = decisions[idx]
+		}
+		payload[b] = dsp.MajorityVote(votes)
+		measured += float64(len(bin))
+	}
+	res := &Result{
+		Payload:             payload,
+		PreambleCorrelation: math.Abs(sel[0].corr),
+		MeasurementsPerBit:  measured / float64(payloadLen),
+	}
+	for _, st := range sel {
+		res.Good = append(res.Good, st.id)
+	}
+	return res, nil
+}
+
+// Detected reports whether the result's preamble correlation clears the
+// configured detection threshold.
+func (d *Decoder) Detected(r *Result) bool {
+	return r != nil && r.PreambleCorrelation >= d.cfg.MinCorrelation
+}
+
+// NormalizedChannel exposes the conditioned (detrended, normalized) series
+// of one CSI channel — the quantity whose PDF Fig. 4 plots.
+func (d *Decoder) NormalizedChannel(s *csi.Series, antenna, subchannel int) ([]float64, error) {
+	raw, err := s.CSIChannel(antenna, subchannel)
+	if err != nil {
+		return nil, err
+	}
+	return dsp.Condition(raw, windowSamples(s.Timestamps(), d.cfg.ConditionWindow)), nil
+}
+
+// DecodeSingleChannel decodes the payload using exactly one CSI channel —
+// the "Random-Subchannel" baseline of Fig. 11 and the per-sub-channel BER
+// probe of Fig. 5.
+func (d *Decoder) DecodeSingleChannel(s *csi.Series, start float64, payloadLen, antenna, subchannel int) (*Result, error) {
+	if payloadLen <= 0 {
+		return nil, fmt.Errorf("uplink: payload length must be positive, got %d", payloadLen)
+	}
+	raw, err := s.CSIChannel(antenna, subchannel)
+	if err != nil {
+		return nil, err
+	}
+	nbits := nFrameBits(payloadLen)
+	ts := s.Timestamps()
+	lo, hi := frameRange(ts, start, start+float64(nbits)*d.cfg.BitDuration)
+	if lo == hi {
+		return nil, fmt.Errorf("uplink: no measurements inside the transmission window")
+	}
+	ts = ts[lo:hi]
+	bins := binByTimestamp(ts, start, d.cfg.BitDuration, nbits)
+	st := analyzeChannel(ChannelID{antenna, subchannel}, raw[lo:hi], ts, bins, d.cfg)
+	return d.combineSelected([]channelStats{st}, bins, payloadLen)
+}

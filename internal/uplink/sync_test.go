@@ -1,0 +1,73 @@
+package uplink
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/csi"
+	"repro/internal/tag"
+)
+
+func TestFindTransmissionLocatesStart(t *testing.T) {
+	payload := randomPayload(60, 50)
+	const bitDur = 0.01
+	const trueStart = 1.7321 // deliberately off any grid
+	mod, _ := tag.NewModulator(tag.FrameBits(payload), trueStart, bitDur)
+	cfg := defaultSynth()
+	cfg.duration = mod.End() + 0.5
+	s := synthSeries(cfg, mod, 51)
+	d, _ := NewDecoder(DefaultConfig(bitDur))
+	start, found, err := d.FindTransmission(s, 1.0, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("transmission not detected")
+	}
+	if math.Abs(start-trueStart) > bitDur/2 {
+		t.Fatalf("estimated start %v, want %v ± half bit", start, trueStart)
+	}
+	// The estimate must be good enough to decode with.
+	res, err := d.DecodeCSI(s, start, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := countBitErrors(res.Payload, payload); errs > 2 {
+		t.Errorf("decode from scanned start: %d/%d errors", errs, len(payload))
+	}
+}
+
+func TestFindTransmissionQuietChannel(t *testing.T) {
+	// No transmission in the scanned range: no detection.
+	payload := randomPayload(20, 52)
+	mod, _ := tag.NewModulator(tag.FrameBits(payload), 50, 0.01) // far away
+	cfg := defaultSynth()
+	cfg.duration = 4
+	s := synthSeries(cfg, mod, 53)
+	d, _ := NewDecoder(DefaultConfig(0.01))
+	_, found, err := d.FindTransmission(s, 0.5, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Error("phantom transmission detected on a quiet channel")
+	}
+}
+
+func TestFindTransmissionValidation(t *testing.T) {
+	d, _ := NewDecoder(DefaultConfig(0.01))
+	if _, _, err := d.FindTransmission(&csi.Series{}, 0, 1); err == nil {
+		t.Error("empty series should error")
+	}
+	payload := randomPayload(10, 54)
+	mod, _ := tag.NewModulator(tag.FrameBits(payload), 1, 0.01)
+	s := synthSeries(defaultSynth(), mod, 55)
+	if _, _, err := d.FindTransmission(s, 2, 2); err == nil {
+		t.Error("empty range should error")
+	}
+	// A range with too few measurements detects nothing without error.
+	_, found, err := d.FindTransmission(s, 100, 101)
+	if err != nil || found {
+		t.Errorf("sparse range = (%v, %v), want (no detect, nil)", found, err)
+	}
+}

@@ -1,0 +1,96 @@
+package wifi
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// ARF implements Auto Rate Fallback rate adaptation: step the rate up
+// after a run of consecutive successes, and step it down after consecutive
+// failures. This is the "default bit rate adaptation" behaviour the paper
+// relies on in §9 to absorb the tag's channel perturbations.
+type ARF struct {
+	// UpAfter successes raises the rate (default 10).
+	UpAfter int
+	// DownAfter failures lowers the rate (default 2).
+	DownAfter int
+
+	successes int
+	failures  int
+}
+
+// NewARF returns an adapter with the classic 10-up/2-down thresholds.
+func NewARF() *ARF { return &ARF{UpAfter: 10, DownAfter: 2} }
+
+// OnSuccess records a delivery and returns the possibly-raised rate.
+func (a *ARF) OnSuccess(cur Rate) Rate {
+	a.failures = 0
+	a.successes++
+	up := a.UpAfter
+	if up <= 0 {
+		up = 10
+	}
+	if a.successes >= up {
+		a.successes = 0
+		return nextRate(cur, +1)
+	}
+	return cur
+}
+
+// OnFailure records a loss and returns the possibly-lowered rate.
+func (a *ARF) OnFailure(cur Rate) Rate {
+	a.successes = 0
+	a.failures++
+	down := a.DownAfter
+	if down <= 0 {
+		down = 2
+	}
+	if a.failures >= down {
+		a.failures = 0
+		return nextRate(cur, -1)
+	}
+	return cur
+}
+
+// nextRate steps through the OFDM rate table.
+func nextRate(cur Rate, dir int) Rate {
+	for i, r := range Rates {
+		if r == cur {
+			j := i + dir
+			if j < 0 {
+				j = 0
+			}
+			if j >= len(Rates) {
+				j = len(Rates) - 1
+			}
+			return Rates[j]
+		}
+	}
+	return Rate6
+}
+
+// PERModel returns the packet error rate for a frame of the given length at
+// the given rate and SNR. The model is a logistic curve centered on the
+// rate's sensitivity threshold, sharpened to span roughly 3 dB, with the
+// error probability scaled by frame length (longer frames see more symbol
+// errors).
+func PERModel(snr units.DB, rate Rate, frameBytes int) float64 {
+	margin := float64(snr - rate.MinSNR())
+	// Bit-level error proxy: logistic in the SNR margin.
+	p := 1 / (1 + math.Exp(1.8*margin))
+	// Frame-level: 1-(1-p_sym)^symbols, approximated with a reference
+	// length of 200 bytes.
+	scale := float64(frameBytes) / 200
+	if scale < 0.1 {
+		scale = 0.1
+	}
+	per := 1 - math.Pow(1-p, scale)
+	if per < 0 {
+		return 0
+	}
+	if per > 1 {
+		return 1
+	}
+	return per
+}

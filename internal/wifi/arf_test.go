@@ -1,0 +1,105 @@
+package wifi
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestARFStepsUpAfterSuccesses(t *testing.T) {
+	a := NewARF()
+	r := Rate6
+	for i := 0; i < 10; i++ {
+		r = a.OnSuccess(r)
+	}
+	if r != Rate9 {
+		t.Errorf("after 10 successes rate = %v, want 9", r)
+	}
+}
+
+func TestARFStepsDownAfterFailures(t *testing.T) {
+	a := NewARF()
+	r := Rate54
+	r = a.OnFailure(r)
+	if r != Rate54 {
+		t.Errorf("one failure should not drop rate, got %v", r)
+	}
+	r = a.OnFailure(r)
+	if r != Rate48 {
+		t.Errorf("two failures should drop to 48, got %v", r)
+	}
+}
+
+func TestARFFailureResetsSuccessStreak(t *testing.T) {
+	a := NewARF()
+	r := Rate6
+	for i := 0; i < 9; i++ {
+		r = a.OnSuccess(r)
+	}
+	r = a.OnFailure(r)
+	for i := 0; i < 9; i++ {
+		r = a.OnSuccess(r)
+	}
+	if r != Rate6 {
+		t.Errorf("streak should have reset; rate = %v, want 6", r)
+	}
+}
+
+func TestARFBounds(t *testing.T) {
+	a := NewARF()
+	r := Rate54
+	for i := 0; i < 100; i++ {
+		r = a.OnSuccess(r)
+	}
+	if r != Rate54 {
+		t.Errorf("rate should cap at 54, got %v", r)
+	}
+	b := NewARF()
+	r = Rate6
+	for i := 0; i < 100; i++ {
+		r = b.OnFailure(r)
+	}
+	if r != Rate6 {
+		t.Errorf("rate should floor at 6, got %v", r)
+	}
+}
+
+func TestARFZeroConfigDefaults(t *testing.T) {
+	a := &ARF{} // zero thresholds fall back to 10/2
+	r := Rate6
+	for i := 0; i < 10; i++ {
+		r = a.OnSuccess(r)
+	}
+	if r != Rate9 {
+		t.Errorf("zero-config ARF should default UpAfter=10, got %v", r)
+	}
+}
+
+func TestNextRateUnknown(t *testing.T) {
+	if got := nextRate(Rate(17), +1); got != Rate6 {
+		t.Errorf("unknown rate should map to base, got %v", got)
+	}
+}
+
+func TestPERModelShape(t *testing.T) {
+	// Far below threshold: hopeless. Far above: clean.
+	if per := PERModel(-10, Rate54, 1500); per < 0.99 {
+		t.Errorf("PER at -10 dB = %v, want ~1", per)
+	}
+	if per := PERModel(40, Rate54, 1500); per > 0.01 {
+		t.Errorf("PER at 40 dB = %v, want ~0", per)
+	}
+	// Monotone in SNR.
+	prev := 1.1
+	for snr := -5.0; snr <= 40; snr += 5 {
+		per := PERModel(units.DB(snr), Rate24, 500)
+		if per > prev {
+			t.Errorf("PER not monotone at %v dB: %v > %v", snr, per, prev)
+		}
+		prev = per
+	}
+	// Longer frames fail more.
+	if PERModel(14, Rate24, 1500) <= PERModel(14, Rate24, 100) {
+		t.Error("longer frames should have higher PER")
+	}
+}

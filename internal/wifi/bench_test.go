@@ -1,0 +1,68 @@
+package wifi
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func BenchmarkFrameSerialize(b *testing.B) {
+	f := &Frame{
+		Header:  Header{Type: TypeData, Addr1: MAC{1}, Addr2: MAC{2}},
+		Payload: make([]byte, 1400),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.Serialize()
+	}
+}
+
+func BenchmarkFrameDecode(b *testing.B) {
+	f := &Frame{
+		Header:  Header{Type: TypeData, Addr1: MAC{1}, Addr2: MAC{2}},
+		Payload: make([]byte, 1400),
+	}
+	wire := f.Serialize()
+	var g Frame
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMediumSaturated(b *testing.B) {
+	// One simulated second of a saturated 54 Mbps station per iteration.
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		m := NewMedium(eng, rng.New(int64(i)))
+		st := m.AddStation("s", MAC{1}, Rate54)
+		(&SaturatedSource{Station: st, Dst: MAC{2}, Payload: 1400}).Start()
+		eng.Run(1)
+	}
+}
+
+func BenchmarkMediumContention(b *testing.B) {
+	// One simulated second with four contending stations per iteration.
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		m := NewMedium(eng, rng.New(int64(i)))
+		for j := 0; j < 4; j++ {
+			st := m.AddStation("s", MAC{byte(j + 1)}, Rate54)
+			(&SaturatedSource{Station: st, Dst: MAC{9}, Payload: 1000}).Start()
+		}
+		eng.Run(1)
+	}
+}
+
+func BenchmarkOFDMEnvelope(b *testing.B) {
+	rnd := rng.New(1)
+	out := make([]float64, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OFDMEnvelope(out, rnd)
+	}
+}

@@ -1,0 +1,49 @@
+package wifi
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// OFDM envelope synthesis for the tag's energy detector (§4.2). Wi-Fi's
+// OFDM waveform is the sum of many independently modulated subcarriers, so
+// its complex baseband is approximately Gaussian and its envelope is
+// Rayleigh-distributed with a high peak-to-average ratio — exactly the
+// property the paper's peak-based detector exploits.
+
+// EnvelopeSampleRate is the rate at which the tag's analog front end is
+// simulated, in samples per second. 4 MHz resolves the envelope structure
+// of 50 µs packets (200 samples per packet).
+const EnvelopeSampleRate = 4e6
+
+// OFDMEnvelope fills out with envelope samples (linear voltage, unit mean
+// square) of an OFDM transmission. Each sample's amplitude is Rayleigh with
+// E[v²] = 1; scaling to the received signal level is the caller's job.
+func OFDMEnvelope(out []float64, rnd *rng.Stream) {
+	sigma := 1 / math.Sqrt2 // Rayleigh scale for unit mean-square
+	for i := range out {
+		out[i] = rnd.Rayleigh(sigma)
+	}
+}
+
+// PAPR computes the peak-to-average power ratio in dB of an envelope
+// sample block. Returns 0 for an empty block.
+func PAPR(env []float64) float64 {
+	if len(env) == 0 {
+		return 0
+	}
+	var peak, sum float64
+	for _, v := range env {
+		p := v * v
+		sum += p
+		if p > peak {
+			peak = p
+		}
+	}
+	avg := sum / float64(len(env))
+	if avg == 0 {
+		return 0
+	}
+	return 10 * math.Log10(peak/avg)
+}

@@ -1,0 +1,116 @@
+// Package wifi implements the 802.11 substrate the paper's system rides on:
+// byte-level frame encoding and decoding (management, data, and the
+// CTS_to_SELF control frame with its NAV reservation), OFDM airtime
+// computation, a CSMA/CA (DCF) medium simulation with binary exponential
+// backoff and virtual carrier sense, beaconing, traffic generators (CBR,
+// Poisson, bursty on/off, saturated download, a diurnal office profile),
+// and the high-PAPR OFDM envelope used by the tag's energy detector.
+//
+// Frame encoding follows the gopacket philosophy: preallocated decode into
+// value types, explicit Serialize/Decode methods, and CRC-backed integrity.
+package wifi
+
+import "repro/internal/units"
+
+// 802.11g (ERP-OFDM) MAC timing parameters, in seconds.
+const (
+	SlotTime = 9e-6
+	SIFS     = 10e-6
+	// DIFS = SIFS + 2 * SlotTime.
+	DIFS = SIFS + 2*SlotTime
+	// PLCPPreamble is the OFDM PHY preamble+header duration.
+	PLCPPreamble = 20e-6
+	// SymbolTime is the OFDM symbol duration.
+	SymbolTime = 4e-6
+	// CWMin and CWMax bound the contention window (in slots).
+	CWMin = 15
+	CWMax = 1023
+	// MaxRetries before a frame is dropped.
+	MaxRetries = 7
+	// MaxNAV is the longest channel reservation a CTS_to_SELF may claim
+	// (§4.1: "up to a duration of 32 ms").
+	MaxNAV = 32e-3
+	// BeaconInterval is the default AP beacon period (102.4 ms).
+	BeaconInterval = 0.1024
+)
+
+// Rate is an 802.11g OFDM bit rate in Mbps.
+type Rate int
+
+// Supported OFDM rates.
+const (
+	Rate6  Rate = 6
+	Rate9  Rate = 9
+	Rate12 Rate = 12
+	Rate18 Rate = 18
+	Rate24 Rate = 24
+	Rate36 Rate = 36
+	Rate48 Rate = 48
+	Rate54 Rate = 54
+)
+
+// Rates lists the OFDM rates in ascending order, as used by rate
+// adaptation.
+var Rates = []Rate{Rate6, Rate9, Rate12, Rate18, Rate24, Rate36, Rate48, Rate54}
+
+// BitsPerSymbol returns the data bits carried per 4 µs OFDM symbol at this
+// rate.
+func (r Rate) BitsPerSymbol() int { return int(r) * 4 }
+
+// MinSNR returns the approximate SNR in dB needed to decode this rate with
+// low error — standard OFDM receiver sensitivities spaced per modulation
+// order. Used by the PER model for rate adaptation (Fig. 19).
+func (r Rate) MinSNR() units.DB {
+	switch r {
+	case Rate6:
+		return 6
+	case Rate9:
+		return 7.5
+	case Rate12:
+		return 9
+	case Rate18:
+		return 11.5
+	case Rate24:
+		return 14.5
+	case Rate36:
+		return 18.5
+	case Rate48:
+		return 23
+	case Rate54:
+		return 25.5
+	}
+	return 6
+}
+
+// ChannelFreq returns the center frequency of a 2.4 GHz Wi-Fi channel
+// (1–14). It returns 0 for invalid channels.
+func ChannelFreq(ch int) units.Hertz {
+	if ch < 1 || ch > 14 {
+		return 0
+	}
+	if ch == 14 {
+		return 2.484 * units.GHz
+	}
+	return units.Hertz(2407+5*ch) * units.MHz
+}
+
+// AirTime returns the on-air duration in seconds of a frame with the given
+// MAC-layer payload length (bytes, including MAC header and FCS) at the
+// given rate: PLCP preamble plus data symbols covering the 16-bit SERVICE
+// field, the PSDU, and 6 tail bits.
+func AirTime(payloadBytes int, rate Rate) float64 {
+	if payloadBytes < 0 {
+		payloadBytes = 0
+	}
+	bits := 16 + 8*payloadBytes + 6
+	bps := rate.BitsPerSymbol()
+	if bps <= 0 {
+		bps = Rate6.BitsPerSymbol()
+	}
+	symbols := (bits + bps - 1) / bps
+	return PLCPPreamble + float64(symbols)*SymbolTime
+}
+
+// AckAirTime is the airtime of a 14-byte ACK at the base rate, including
+// the preceding SIFS.
+func AckAirTime() float64 { return SIFS + AirTime(14, Rate6) }

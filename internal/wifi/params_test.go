@@ -1,0 +1,94 @@
+package wifi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestChannelFreq(t *testing.T) {
+	cases := map[int]units.Hertz{
+		1:  2412 * units.MHz,
+		6:  2437 * units.MHz,
+		11: 2462 * units.MHz,
+		14: 2484 * units.MHz,
+	}
+	for ch, want := range cases {
+		if got := ChannelFreq(ch); got != want {
+			t.Errorf("ChannelFreq(%d) = %v, want %v", ch, got, want)
+		}
+	}
+	if ChannelFreq(0) != 0 || ChannelFreq(15) != 0 {
+		t.Error("invalid channels should return 0")
+	}
+}
+
+func TestAirTimeSmallestPacket(t *testing.T) {
+	// §4.1: "The smallest packet size possible on a Wi-Fi device is
+	// about 40 µs at a bit rate of 54 Mbps". A minimal MAC frame
+	// (header+FCS only, 27 bytes here) at 54 Mbps should land around
+	// 20 µs preamble + ~2 symbols ≈ 28–44 µs.
+	f := &Frame{Header: Header{Type: TypeQoSNull}}
+	at := AirTime(f.Length(), Rate54)
+	if at < 24e-6 || at > 44e-6 {
+		t.Errorf("minimal frame airtime = %v µs, want ~28-44 µs", at*1e6)
+	}
+}
+
+func TestAirTimeScalesWithLength(t *testing.T) {
+	short := AirTime(100, Rate54)
+	long := AirTime(1500, Rate54)
+	if long <= short {
+		t.Error("longer frames should take longer")
+	}
+	// 1500 bytes at 54 Mbps: 12000+22 bits / 216 bits/symbol = 56
+	// symbols = 224 µs + 20 µs preamble.
+	want := 20e-6 + 56*4e-6
+	if math.Abs(long-want) > 1e-9 {
+		t.Errorf("1500B @ 54Mbps = %v, want %v", long, want)
+	}
+}
+
+func TestAirTimeRateOrdering(t *testing.T) {
+	for i := 1; i < len(Rates); i++ {
+		if AirTime(1000, Rates[i]) >= AirTime(1000, Rates[i-1]) {
+			t.Errorf("airtime at %d Mbps should be below %d Mbps", Rates[i], Rates[i-1])
+		}
+	}
+}
+
+func TestAirTimeNegativeLength(t *testing.T) {
+	if got := AirTime(-5, Rate6); got <= 0 {
+		t.Errorf("negative length should still give positive preamble time, got %v", got)
+	}
+}
+
+func TestMinSNRMonotone(t *testing.T) {
+	for i := 1; i < len(Rates); i++ {
+		if Rates[i].MinSNR() <= Rates[i-1].MinSNR() {
+			t.Errorf("MinSNR should increase with rate: %v vs %v", Rates[i], Rates[i-1])
+		}
+	}
+}
+
+func TestBitsPerSymbol(t *testing.T) {
+	if got := Rate54.BitsPerSymbol(); got != 216 {
+		t.Errorf("54 Mbps bits/symbol = %d, want 216", got)
+	}
+	if got := Rate6.BitsPerSymbol(); got != 24 {
+		t.Errorf("6 Mbps bits/symbol = %d, want 24", got)
+	}
+}
+
+func TestAckAirTime(t *testing.T) {
+	if got := AckAirTime(); got <= SIFS {
+		t.Errorf("ACK airtime = %v, should exceed SIFS", got)
+	}
+}
+
+func TestDIFSRelation(t *testing.T) {
+	if DIFS != SIFS+2*SlotTime {
+		t.Errorf("DIFS = %v, want SIFS+2*slot = %v", DIFS, SIFS+2*SlotTime)
+	}
+}

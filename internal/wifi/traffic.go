@@ -1,0 +1,187 @@
+package wifi
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// This file provides the traffic sources used across the evaluation:
+// constant-rate injection (Fig. 10/12), saturated download (the 1 GB file
+// transfer behind Fig. 3), Poisson and bursty ambient traffic (Fig. 15/18),
+// beacons (Fig. 16), and the diurnal office load profile.
+
+// dataFrame builds a data frame with the given payload size.
+func dataFrame(dst MAC, payload int) *Frame {
+	if payload < 0 {
+		payload = 0
+	}
+	return &Frame{Header: Header{Type: TypeData, Addr1: dst}, Payload: make([]byte, payload)}
+}
+
+// CBRSource injects fixed-size data frames at a constant interval, like the
+// paper's packet injection with inter-packet delays. It stops when the
+// engine runs past its horizon.
+type CBRSource struct {
+	Station  *Station
+	Dst      MAC
+	Payload  int
+	Interval float64 // seconds between enqueues
+	Until    float64 // stop time (absolute)
+}
+
+// Start schedules the source on the station's medium engine.
+func (c *CBRSource) Start() {
+	if c.Interval <= 0 {
+		panic("wifi: CBRSource needs a positive interval")
+	}
+	eng := c.Station.medium.eng
+	var tick func()
+	tick = func() {
+		if c.Until > 0 && eng.Now() >= c.Until {
+			return
+		}
+		c.Station.Enqueue(dataFrame(c.Dst, c.Payload))
+		eng.Schedule(c.Interval, tick)
+	}
+	eng.Schedule(0, tick)
+}
+
+// SaturatedSource keeps the station's queue backlogged with fixed-size data
+// frames, modelling a large file download (Fig. 3's 1 GB media file).
+type SaturatedSource struct {
+	Station *Station
+	Dst     MAC
+	Payload int
+	// Depth is how many frames to keep queued (default 4).
+	Depth int
+}
+
+// Start begins the backlog.
+func (s *SaturatedSource) Start() {
+	depth := s.Depth
+	if depth <= 0 {
+		depth = 4
+	}
+	refill := func() {
+		for s.Station.QueueLen() < depth {
+			s.Station.Enqueue(dataFrame(s.Dst, s.Payload))
+		}
+	}
+	s.Station.OnQueueIdle = refill
+	refill()
+}
+
+// PoissonSource injects data frames as a Poisson process with the given
+// mean rate.
+type PoissonSource struct {
+	Station *Station
+	Dst     MAC
+	Payload int
+	Rate    float64 // mean packets per second
+	Until   float64
+	Rnd     *rng.Stream
+}
+
+// Start schedules the source.
+func (p *PoissonSource) Start() {
+	if p.Rate <= 0 {
+		panic("wifi: PoissonSource needs a positive rate")
+	}
+	eng := p.Station.medium.eng
+	var tick func()
+	tick = func() {
+		if p.Until > 0 && eng.Now() >= p.Until {
+			return
+		}
+		p.Station.Enqueue(dataFrame(p.Dst, p.Payload))
+		eng.Schedule(p.Rnd.Exponential(1/p.Rate), tick)
+	}
+	eng.Schedule(p.Rnd.Exponential(1/p.Rate), tick)
+}
+
+// BurstySource models heavy-tailed on/off traffic (a streaming client like
+// the paper's Pandora session): bursts of back-to-back packets with
+// Pareto-distributed burst lengths and idle gaps.
+type BurstySource struct {
+	Station *Station
+	Dst     MAC
+	Payload int
+	// MeanBurst is the mean number of packets per burst.
+	MeanBurst float64
+	// MeanGap is the mean idle time between bursts in seconds.
+	MeanGap float64
+	// InBurstInterval is the spacing of packets within a burst.
+	InBurstInterval float64
+	Until           float64
+	Rnd             *rng.Stream
+}
+
+// Start schedules the source.
+func (b *BurstySource) Start() {
+	if b.MeanBurst <= 0 || b.MeanGap <= 0 || b.InBurstInterval <= 0 {
+		panic("wifi: BurstySource needs positive parameters")
+	}
+	eng := b.Station.medium.eng
+	const alpha = 1.5 // Pareto shape for burst sizes
+	var burst func()
+	burst = func() {
+		if b.Until > 0 && eng.Now() >= b.Until {
+			return
+		}
+		// Pareto with mean MeanBurst: mean = alpha*xm/(alpha-1).
+		xm := b.MeanBurst * (alpha - 1) / alpha
+		n := int(math.Ceil(b.Rnd.Pareto(xm, alpha)))
+		for i := 0; i < n; i++ {
+			delay := float64(i) * b.InBurstInterval
+			eng.Schedule(delay, func() {
+				b.Station.Enqueue(dataFrame(b.Dst, b.Payload))
+			})
+		}
+		gap := b.Rnd.Exponential(b.MeanGap)
+		eng.Schedule(float64(n)*b.InBurstInterval+gap, burst)
+	}
+	eng.Schedule(0, burst)
+}
+
+// BeaconSource emits AP beacons at a fixed interval (Fig. 16 sweeps this
+// from ~10 to 70 beacons/s).
+type BeaconSource struct {
+	Station  *Station
+	Interval float64
+	Until    float64
+}
+
+// Start schedules beaconing.
+func (b *BeaconSource) Start() {
+	if b.Interval <= 0 {
+		panic("wifi: BeaconSource needs a positive interval")
+	}
+	eng := b.Station.medium.eng
+	var tick func()
+	tick = func() {
+		if b.Until > 0 && eng.Now() >= b.Until {
+			return
+		}
+		b.Station.Enqueue(&Frame{
+			Header:  Header{Type: TypeBeacon, Addr1: BroadcastMAC},
+			Payload: make([]byte, 80), // typical beacon body with IEs
+		})
+		eng.Schedule(b.Interval, tick)
+	}
+	eng.Schedule(0, tick)
+}
+
+// OfficeLoad returns the diurnal office network load in packets/second at
+// the given time of day (hours, 0–24), reproducing the shape of Fig. 15:
+// load ramps through the morning, peaks in the early afternoon around a
+// thousand packets per second, and falls off through the evening.
+func OfficeLoad(hour float64) float64 {
+	hour = math.Mod(hour, 24)
+	// A smooth day curve: low at night, peak ~2 PM.
+	base := 80.0
+	peak := 1020.0
+	x := (hour - 14) / 4.5
+	day := math.Exp(-x * x)
+	return base + (peak-base)*day
+}
