@@ -1,0 +1,36 @@
+# Development gate for this repository. `make check` is the tier-1+ gate a
+# change must pass before merging: vet, build, the full test suite under
+# the race detector (which also exercises the serial-vs-parallel
+# equivalence properties), and a short fuzz smoke over the decoder and
+# message-framing fuzz targets.
+
+GO ?= go
+
+.PHONY: all build vet test race fuzz bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Ten seconds per target catches shallow panics cheaply; explore deeper
+# with e.g. `go test -fuzz=FuzzDecodeCSI -fuzztime=5m ./internal/uplink/`.
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeCSI -fuzztime=10s ./internal/uplink/
+	$(GO) test -fuzz=FuzzDecodeLongRange -fuzztime=10s ./internal/uplink/
+	$(GO) test -fuzz=FuzzParsePayload -fuzztime=10s ./internal/downlink/
+	$(GO) test -fuzz=FuzzMessageRoundTrip -fuzztime=10s ./internal/downlink/
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+check: vet build race fuzz

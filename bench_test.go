@@ -114,23 +114,23 @@ func BenchmarkFig16BeaconOnly(b *testing.B) {
 
 func BenchmarkFig17DownlinkBER(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := eval.DownlinkBER(3000, 1)
+		t, err := eval.DownlinkBER(3000, 1, 0)
 		logTable(b, "fig17", t, err)
 	}
 }
 
 func BenchmarkFig18FalsePositives(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := eval.FalsePositives(0.02, 1)
+		t, err := eval.FalsePositives(0.02, 1, 0)
 		logTable(b, "fig18", t, err)
 	}
 }
 
 func BenchmarkFig19WiFiImpact(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := eval.WiFiImpact(units.Centimeters(5), 10, 1)
+		t, err := eval.WiFiImpact(units.Centimeters(5), 10, 1, 0)
 		logTable(b, "fig19a", t, err)
-		t, err = eval.WiFiImpact(units.Centimeters(30), 10, 1)
+		t, err = eval.WiFiImpact(units.Centimeters(30), 10, 1, 0)
 		logTable(b, "fig19b", t, err)
 	}
 }
@@ -165,7 +165,7 @@ func BenchmarkAblationBinning(b *testing.B) {
 
 func BenchmarkAblationThreshold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := eval.ThresholdAblation(3000, 1)
+		t, err := eval.ThresholdAblation(3000, 1, 0)
 		logTable(b, "abl-thresh", t, err)
 	}
 }
@@ -209,5 +209,30 @@ func BenchmarkPowerBudget(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t := eval.PowerBudget()
 		logTable(b, "power", t, nil)
+	}
+}
+
+// The serial/parallel pair below measures the trial-engine speedup on the
+// same uplink sweep (Fig. 10a at reduced scale). On a multi-core machine
+// the parallel run should approach a GOMAXPROCS-fold improvement; the
+// tables are bit-identical either way.
+
+func uplinkSweepOpt(workers int) eval.Options {
+	return eval.Options{Seed: 1, Trials: 4, PayloadLen: 45, Workers: workers}
+}
+
+func BenchmarkUplinkSweepSerial(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := eval.UplinkBERvsDistance(core.DecodeCSI, uplinkSweepOpt(1))
+		logTable(b, "sweep-serial", t, err)
+	}
+}
+
+func BenchmarkUplinkSweepParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := eval.UplinkBERvsDistance(core.DecodeCSI, uplinkSweepOpt(0))
+		logTable(b, "sweep-parallel", t, err)
 	}
 }

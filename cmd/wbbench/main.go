@@ -3,17 +3,23 @@
 //
 // Usage:
 //
-//	wbbench [-quick] [-seed N] [-only fig10a,fig17,...]
+//	wbbench [-quick] [-seed N] [-workers N] [-only fig10a,fig17,...] [-compare]
 //
 // Without flags it runs the full paper-scale suite (minutes); -quick runs
-// a reduced version of every experiment in seconds.
+// a reduced version of every experiment in seconds. -workers bounds the
+// goroutines used for independent trials (0 = all cores); every worker
+// count produces bit-identical tables. -compare runs the selected
+// experiments twice — serial then parallel — verifies the outputs match,
+// and reports the wall-clock speedup.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/eval"
 )
@@ -21,11 +27,13 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-scale experiments")
 	seed := flag.Int64("seed", 1, "random seed (equal seeds replay identically)")
+	workers := flag.Int("workers", 0, "worker goroutines for independent trials (0 = all cores, 1 = serial)")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig10a,fig17); empty runs all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	compare := flag.Bool("compare", false, "run serial then parallel, verify identical output, report speedup")
 	flag.Parse()
 
-	suite := eval.Suite{Seed: *seed, Quick: *quick, Progress: os.Stderr}
+	suite := eval.Suite{Seed: *seed, Quick: *quick, Workers: *workers, Progress: os.Stderr}
 	if *list {
 		for _, e := range suite.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Name)
@@ -38,8 +46,53 @@ func main() {
 			filter[strings.TrimSpace(id)] = true
 		}
 	}
+	if *compare {
+		if err := runCompare(suite, filter); err != nil {
+			fmt.Fprintln(os.Stderr, "wbbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := suite.Run(os.Stdout, filter); err != nil {
 		fmt.Fprintln(os.Stderr, "wbbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare times the suite at one worker and at the requested worker
+// count, checks the outputs are byte-identical, and prints the speedup.
+func runCompare(suite eval.Suite, filter map[string]bool) error {
+	parWorkers := suite.Workers
+	if parWorkers == 0 {
+		parWorkers = runtime.GOMAXPROCS(0)
+	}
+	serial := suite
+	serial.Workers = 1
+	serial.Progress = nil
+	par := suite
+	par.Workers = parWorkers
+	par.Progress = nil
+
+	var serialOut, parOut strings.Builder
+	fmt.Fprintf(os.Stderr, "serial pass (1 worker)...\n")
+	t0 := time.Now()
+	if err := serial.Run(&serialOut, filter); err != nil {
+		return err
+	}
+	serialTime := time.Since(t0)
+	fmt.Fprintf(os.Stderr, "parallel pass (%d workers)...\n", parWorkers)
+	t0 = time.Now()
+	if err := par.Run(&parOut, filter); err != nil {
+		return err
+	}
+	parTime := time.Since(t0)
+
+	if serialOut.String() != parOut.String() {
+		return fmt.Errorf("serial and parallel outputs differ — determinism violated")
+	}
+	fmt.Print(parOut.String())
+	fmt.Printf("serial:   %v\nparallel: %v (%d workers)\nspeedup:  %.2fx (outputs identical)\n",
+		serialTime.Round(time.Millisecond), parTime.Round(time.Millisecond),
+		parWorkers, float64(serialTime)/float64(parTime))
+	return nil
 }

@@ -181,6 +181,27 @@ func (s *Series) Subchannels() int {
 	return len(s.Measurements[0].CSI[0])
 }
 
+// CheckShape verifies every measurement carries the same antenna and
+// sub-channel counts as the first (with one RSSI entry per antenna), so
+// the per-channel extractors cannot index out of range on a malformed
+// series — e.g. one assembled from a truncated capture.
+func (s *Series) CheckShape() error {
+	ants, subs := s.Antennas(), s.Subchannels()
+	for i, m := range s.Measurements {
+		if len(m.CSI) != ants || len(m.RSSI) != ants {
+			return fmt.Errorf("csi: measurement %d has %d CSI rows and %d RSSI entries, want %d of each",
+				i, len(m.CSI), len(m.RSSI), ants)
+		}
+		for a, row := range m.CSI {
+			if len(row) != subs {
+				return fmt.Errorf("csi: measurement %d antenna %d has %d sub-channels, want %d",
+					i, a, len(row), subs)
+			}
+		}
+	}
+	return nil
+}
+
 // Timestamps returns the measurement timestamps.
 func (s *Series) Timestamps() []float64 {
 	out := make([]float64, len(s.Measurements))
@@ -193,25 +214,44 @@ func (s *Series) Timestamps() []float64 {
 // CSIChannel extracts the amplitude series of one (antenna, sub-channel)
 // pair. It returns an error when the indices are out of range.
 func (s *Series) CSIChannel(antenna, subchannel int) ([]float64, error) {
+	return s.CSIChannelInto(nil, antenna, subchannel)
+}
+
+// CSIChannelInto is CSIChannel writing into dst when it has enough
+// capacity (a nil or short dst allocates). It lets the decoder reuse one
+// buffer across its 90-channel scan instead of allocating per channel.
+func (s *Series) CSIChannelInto(dst []float64, antenna, subchannel int) ([]float64, error) {
 	if antenna < 0 || antenna >= s.Antennas() || subchannel < 0 || subchannel >= s.Subchannels() {
 		return nil, fmt.Errorf("csi: channel (%d, %d) out of range (%d antennas, %d sub-channels)",
 			antenna, subchannel, s.Antennas(), s.Subchannels())
 	}
-	out := make([]float64, len(s.Measurements))
-	for i, m := range s.Measurements {
-		out[i] = m.CSI[antenna][subchannel]
+	if cap(dst) < len(s.Measurements) {
+		dst = make([]float64, len(s.Measurements))
 	}
-	return out, nil
+	dst = dst[:len(s.Measurements)]
+	for i, m := range s.Measurements {
+		dst[i] = m.CSI[antenna][subchannel]
+	}
+	return dst, nil
 }
 
 // RSSIChannel extracts the RSSI series of one antenna.
 func (s *Series) RSSIChannel(antenna int) ([]float64, error) {
+	return s.RSSIChannelInto(nil, antenna)
+}
+
+// RSSIChannelInto is RSSIChannel writing into dst when it has enough
+// capacity (a nil or short dst allocates).
+func (s *Series) RSSIChannelInto(dst []float64, antenna int) ([]float64, error) {
 	if antenna < 0 || antenna >= s.Antennas() {
 		return nil, fmt.Errorf("csi: RSSI antenna %d out of range (%d antennas)", antenna, s.Antennas())
 	}
-	out := make([]float64, len(s.Measurements))
-	for i, m := range s.Measurements {
-		out[i] = m.RSSI[antenna]
+	if cap(dst) < len(s.Measurements) {
+		dst = make([]float64, len(s.Measurements))
 	}
-	return out, nil
+	dst = dst[:len(s.Measurements)]
+	for i, m := range s.Measurements {
+		dst[i] = m.RSSI[antenna]
+	}
+	return dst, nil
 }

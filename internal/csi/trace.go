@@ -1,0 +1,135 @@
+package csi
+
+// Trace serialization: a plain-text, line-oriented codec for measurement
+// series so recorded CSI/RSSI traces can be checked into testdata and
+// decoded in regression tests. Floats are written with strconv's shortest
+// round-trip formatting, so Read(Write(s)) reproduces the series exactly
+// bit-for-bit — a requirement for golden-output tests.
+//
+// Format:
+//
+//	wbtrace 1
+//	dims <antennas> <subchannels>
+//	<timestamp> <rssi[0]> ... <rssi[A-1]> <csi[0][0]> ... <csi[A-1][S-1]>
+//	...
+//
+// CSI values are flattened antenna-major. Blank lines and lines starting
+// with '#' are ignored.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// traceMagic identifies version 1 of the trace format.
+const traceMagic = "wbtrace 1"
+
+// WriteSeries serializes s to w in the wbtrace text format.
+func WriteSeries(w io.Writer, s *Series) error {
+	bw := bufio.NewWriter(w)
+	ants, subs := s.Antennas(), s.Subchannels()
+	fmt.Fprintf(bw, "%s\ndims %d %d\n", traceMagic, ants, subs)
+	var buf []byte
+	for i, m := range s.Measurements {
+		if len(m.CSI) != ants || len(m.RSSI) != ants {
+			return fmt.Errorf("csi: measurement %d has %d CSI / %d RSSI rows, want %d",
+				i, len(m.CSI), len(m.RSSI), ants)
+		}
+		buf = strconv.AppendFloat(buf[:0], m.Timestamp, 'g', -1, 64)
+		for _, v := range m.RSSI {
+			buf = append(buf, ' ')
+			buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		}
+		for a, row := range m.CSI {
+			if len(row) != subs {
+				return fmt.Errorf("csi: measurement %d antenna %d has %d sub-channels, want %d",
+					i, a, len(row), subs)
+			}
+			for _, v := range row {
+				buf = append(buf, ' ')
+				buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+			}
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSeries parses a wbtrace stream written by WriteSeries.
+func ReadSeries(r io.Reader) (*Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("csi: reading trace header: %w", err)
+	}
+	if line != traceMagic {
+		return nil, fmt.Errorf("csi: bad trace magic %q", line)
+	}
+	line, err = nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("csi: reading trace dims: %w", err)
+	}
+	var ants, subs int
+	if _, err := fmt.Sscanf(line, "dims %d %d", &ants, &subs); err != nil {
+		return nil, fmt.Errorf("csi: bad dims line %q: %w", line, err)
+	}
+	if ants < 0 || subs < 0 || ants > 64 || subs > 1024 {
+		return nil, fmt.Errorf("csi: implausible dims %d antennas × %d sub-channels", ants, subs)
+	}
+	want := 1 + ants + ants*subs
+	s := &Series{}
+	for lineNo := 3; sc.Scan(); lineNo++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != want {
+			return nil, fmt.Errorf("csi: line %d has %d fields, want %d", lineNo, len(fields), want)
+		}
+		vals := make([]float64, want)
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("csi: line %d field %d: %w", lineNo, i, err)
+			}
+			vals[i] = v
+		}
+		m := Measurement{
+			Timestamp: vals[0],
+			RSSI:      vals[1 : 1+ants],
+			CSI:       make([][]float64, ants),
+		}
+		for a := 0; a < ants; a++ {
+			off := 1 + ants + a*subs
+			m.CSI[a] = vals[off : off+subs]
+		}
+		s.Append(m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("csi: reading trace: %w", err)
+	}
+	return s, nil
+}
+
+// nextLine returns the next non-blank, non-comment line.
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}

@@ -1,0 +1,89 @@
+package csi
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTraceRoundTripExact(t *testing.T) {
+	card := NewCard(DefaultModel(), rng.New(11))
+	var s Series
+	for i := 0; i < 40; i++ {
+		s.Append(card.Measure(0.001*float64(i)+1/3.0, flatChannel(3, 30, 10)))
+	}
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, &s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeries(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Measurements, s.Measurements) {
+		t.Fatal("round-tripped series differs from original")
+	}
+	// A second write must be byte-identical (goldens depend on it).
+	var buf2 bytes.Buffer
+	if err := WriteSeries(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-serialization is not byte-stable")
+	}
+}
+
+func TestTraceRoundTripExtremeFloats(t *testing.T) {
+	s := &Series{}
+	s.Append(Measurement{
+		Timestamp: math.Nextafter(1, 2),
+		CSI:       [][]float64{{1e-308, 0.1 + 0.2}},
+		RSSI:      []float64{-100.0000001},
+	})
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Measurements, s.Measurements) {
+		t.Fatal("shortest round-trip formatting lost precision")
+	}
+}
+
+func TestReadSeriesRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad magic":     "nottrace 1\ndims 1 1\n",
+		"missing dims":  "wbtrace 1\n",
+		"bad dims":      "wbtrace 1\ndims x y\n",
+		"huge dims":     "wbtrace 1\ndims 1000 9999\n",
+		"short row":     "wbtrace 1\ndims 1 2\n0 1 2\n",
+		"long row":      "wbtrace 1\ndims 1 1\n0 1 2 3\n",
+		"non-numeric":   "wbtrace 1\ndims 1 1\n0 1 abc\n",
+		"negative dims": "wbtrace 1\ndims -1 2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadSeries(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadSeries accepted malformed input", name)
+		}
+	}
+}
+
+func TestReadSeriesSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# recorded trace\n\nwbtrace 1\n# shape\ndims 1 1\n\n# data\n1.5 -40 7\n"
+	s, err := ReadSeries(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.Measurements[0].Timestamp != 1.5 ||
+		s.Measurements[0].RSSI[0] != -40 || s.Measurements[0].CSI[0][0] != 7 {
+		t.Fatalf("parsed %+v", s.Measurements)
+	}
+}

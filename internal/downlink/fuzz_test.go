@@ -1,0 +1,87 @@
+package downlink
+
+// Fuzz targets for the downlink message framing. ParsePayload is the
+// boundary where bits demodulated off the air re-enter typed code, so it
+// must hold its contract — exact length, valid CRC, or a typed error —
+// for every possible bit string, including truncated frames.
+
+import (
+	"errors"
+	"testing"
+)
+
+// bitsFromBytes maps one byte per bit (odd = 1), so the fuzzer controls
+// both the bit pattern and — via input length — the frame truncation.
+func bitsFromBytes(raw []byte) []bool {
+	bits := make([]bool, len(raw))
+	for i, b := range raw {
+		bits[i] = b&1 == 1
+	}
+	return bits
+}
+
+func bytesFromBits(bits []bool) []byte {
+	raw := make([]byte, len(bits))
+	for i, b := range bits {
+		if b {
+			raw[i] = 1
+		}
+	}
+	return raw
+}
+
+func FuzzParsePayload(f *testing.F) {
+	// Seeds: a valid frame (the message_test vector), the empty frame, an
+	// all-zero frame of the right length, and a truncated valid frame.
+	good := NewMessage(0xDEADBEEF0BAD).PayloadBits()
+	f.Add(bytesFromBits(good))
+	f.Add([]byte{})
+	f.Add(make([]byte, PayloadBits))
+	f.Add(bytesFromBits(good[:PayloadBits/2]))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		bits := bitsFromBytes(raw)
+		m, err := ParsePayload(bits)
+		if len(bits) != PayloadBits {
+			if !errors.Is(err, ErrBadLength) {
+				t.Fatalf("length %d: err = %v, want ErrBadLength", len(bits), err)
+			}
+			return
+		}
+		if err != nil {
+			if !errors.Is(err, ErrBadCRC) {
+				t.Fatalf("exact-length payload: err = %v, want nil or ErrBadCRC", err)
+			}
+			return
+		}
+		// An accepted payload must re-encode to the identical bit string.
+		round := m.PayloadBits()
+		for i := range bits {
+			if round[i] != bits[i] {
+				t.Fatalf("accepted payload re-encodes differently at bit %d", i)
+			}
+		}
+	})
+}
+
+func FuzzMessageRoundTrip(f *testing.F) {
+	f.Add(uint64(0), 0)
+	f.Add(uint64(0xDEADBEEF0BAD), 17)
+	f.Add(^uint64(0), PayloadBits-1)
+	f.Fuzz(func(t *testing.T, data uint64, flip int) {
+		m := NewMessage(data)
+		bits := m.PayloadBits()
+		got, err := ParsePayload(bits)
+		if err != nil {
+			t.Fatalf("round trip of %#x failed: %v", m.Data, err)
+		}
+		if got.Data != m.Data {
+			t.Fatalf("round trip of %#x returned %#x", m.Data, got.Data)
+		}
+		// The CRC polynomial guarantees every single-bit error is caught.
+		i := ((flip % PayloadBits) + PayloadBits) % PayloadBits
+		bits[i] = !bits[i]
+		if _, err := ParsePayload(bits); err == nil {
+			t.Errorf("single-bit corruption at %d went undetected", i)
+		}
+	})
+}

@@ -3,6 +3,12 @@ package dsp
 // This file implements the "signal conditioning" step from §3.2 of the
 // paper: removing slow temporal channel variation with a moving average and
 // normalizing the residual so tag bits map to ±1.
+//
+// Every step has an Into variant writing into a caller-provided buffer
+// (which must not alias xs); the allocating forms wrap them. Internal
+// scratch (prefix sums, baselines, modulation estimates) comes from the
+// package buffer pool, so the allocating forms cost exactly one result
+// slice per call.
 
 // MovingAverage returns the centered moving average of xs with the given
 // window length. Near the edges the window shrinks to the available
@@ -10,13 +16,21 @@ package dsp
 // copy of xs.
 func MovingAverage(xs []float64, window int) []float64 {
 	out := make([]float64, len(xs))
+	MovingAverageInto(out, xs, window)
+	return out
+}
+
+// MovingAverageInto computes MovingAverage into dst, which must have the
+// same length as xs and not alias it.
+func MovingAverageInto(dst, xs []float64, window int) {
 	if window <= 1 {
-		copy(out, xs)
-		return out
+		copy(dst, xs)
+		return
 	}
 	half := window / 2
 	// Prefix sums for O(n) windowed means.
-	prefix := make([]float64, len(xs)+1)
+	prefix := GetSlice(len(xs) + 1)
+	defer PutSlice(prefix)
 	for i, x := range xs {
 		prefix[i+1] = prefix[i] + x
 	}
@@ -29,9 +43,8 @@ func MovingAverage(xs []float64, window int) []float64 {
 		if hi > len(xs) {
 			hi = len(xs)
 		}
-		out[i] = (prefix[hi] - prefix[lo]) / float64(hi-lo)
+		dst[i] = (prefix[hi] - prefix[lo]) / float64(hi-lo)
 	}
-	return out
 }
 
 // RemoveTrend subtracts the centered moving average with the given window
@@ -39,12 +52,20 @@ func MovingAverage(xs []float64, window int) []float64 {
 // (such as the tag's modulation). This is step 1 of the paper's signal
 // conditioning.
 func RemoveTrend(xs []float64, window int) []float64 {
-	avg := MovingAverage(xs, window)
 	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = x - avg[i]
-	}
+	RemoveTrendInto(out, xs, window)
 	return out
+}
+
+// RemoveTrendInto computes RemoveTrend into dst, which must have the same
+// length as xs and not alias it.
+func RemoveTrendInto(dst, xs []float64, window int) {
+	avg := GetSlice(len(xs))
+	MovingAverageInto(avg, xs, window)
+	for i, x := range xs {
+		dst[i] = x - avg[i]
+	}
+	PutSlice(avg)
 }
 
 // Normalize scales a zero-mean series so that the two modulation levels map
@@ -53,22 +74,40 @@ func RemoveTrend(xs []float64, window int) []float64 {
 // transmitted bits). A series with zero mean absolute value is returned
 // as all zeros.
 func Normalize(xs []float64) []float64 {
-	scale := MeanAbs(xs)
 	out := make([]float64, len(xs))
-	if scale == 0 {
-		return out
-	}
-	for i, x := range xs {
-		out[i] = x / scale
-	}
+	copy(out, xs)
+	normalizeInPlace(out)
 	return out
+}
+
+// normalizeInPlace applies Normalize's scaling to xs itself.
+func normalizeInPlace(xs []float64) {
+	scale := MeanAbs(xs)
+	if scale == 0 {
+		for i := range xs {
+			xs[i] = 0
+		}
+		return
+	}
+	for i := range xs {
+		xs[i] /= scale
+	}
 }
 
 // Condition applies the full signal-conditioning pipeline: moving-average
 // detrend followed by normalization. window is in samples (the paper uses
 // the samples spanning 400 ms of packets).
 func Condition(xs []float64, window int) []float64 {
-	return Normalize(RemoveTrend(xs, window))
+	out := make([]float64, len(xs))
+	ConditionInto(out, xs, window)
+	return out
+}
+
+// ConditionInto computes Condition into dst, which must have the same
+// length as xs and not alias it.
+func ConditionInto(dst, xs []float64, window int) {
+	RemoveTrendInto(dst, xs, window)
+	normalizeInPlace(dst)
 }
 
 // ConditionTwoPass is Condition with decision-directed baseline removal.
@@ -88,8 +127,18 @@ func Condition(xs []float64, window int) []float64 {
 // The estimate is refined over a few iterations, which matters near the
 // series edges where the centered window is asymmetric.
 func ConditionTwoPass(xs []float64, window int) []float64 {
-	resid := RemoveTrend(xs, window)
-	demod := make([]float64, len(xs))
+	out := make([]float64, len(xs))
+	ConditionTwoPassInto(out, xs, window)
+	return out
+}
+
+// ConditionTwoPassInto computes ConditionTwoPass into dst, which must have
+// the same length as xs and not alias it.
+func ConditionTwoPassInto(dst, xs []float64, window int) {
+	resid := dst
+	RemoveTrendInto(resid, xs, window)
+	demod := GetSlice(len(xs))
+	baseline := GetSlice(len(xs))
 	for iter := 0; iter < 2; iter++ {
 		amp := MeanAbs(resid)
 		if amp == 0 {
@@ -102,10 +151,12 @@ func ConditionTwoPass(xs []float64, window int) []float64 {
 				demod[i] = xs[i] + amp
 			}
 		}
-		baseline := MovingAverage(demod, window)
+		MovingAverageInto(baseline, demod, window)
 		for i := range xs {
 			resid[i] = xs[i] - baseline[i]
 		}
 	}
-	return Normalize(resid)
+	PutSlice(demod)
+	PutSlice(baseline)
+	normalizeInPlace(resid)
 }

@@ -38,7 +38,8 @@ func NormalizedCorrelate(xs, p []float64) []float64 {
 		return out
 	}
 	// Rolling window energy via prefix sums of squares.
-	prefix2 := make([]float64, len(xs)+1)
+	prefix2 := GetSlice(len(xs) + 1)
+	defer PutSlice(prefix2)
 	for i, x := range xs {
 		prefix2[i+1] = prefix2[i] + x*x
 	}

@@ -1,0 +1,42 @@
+package dsp
+
+import "sync"
+
+// The decode hot path conditions ~90 channel series per trial, each needing
+// several same-length scratch slices (prefix sums, baselines, modulation
+// estimates). Allocating those per call dominated the allocation profile of
+// parallel sweeps, so scratch buffers come from a shared sync.Pool instead.
+// Only buffers that never escape their function (or that callers explicitly
+// return with PutSlice) are pooled; results handed to callers remain
+// freshly allocated unless the caller opted into an Into variant.
+
+// slicePool recycles float64 scratch buffers as *[]float64.
+var slicePool sync.Pool
+
+// GetSlice returns a zeroed slice of length n, reusing a pooled buffer
+// when one with enough capacity is available. Return it with PutSlice
+// when done; forgetting to is safe (the GC reclaims it) but forfeits the
+// reuse.
+func GetSlice(n int) []float64 {
+	if v := slicePool.Get(); v != nil {
+		s := *(v.(*[]float64))
+		if cap(s) >= n {
+			s = s[:n]
+			for i := range s {
+				s[i] = 0
+			}
+			return s
+		}
+	}
+	return make([]float64, n)
+}
+
+// PutSlice returns a buffer obtained from GetSlice to the pool. The
+// caller must not use s afterwards.
+func PutSlice(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	slicePool.Put(&s)
+}

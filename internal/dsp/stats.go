@@ -60,7 +60,9 @@ func Median(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	cp := append([]float64(nil), xs...)
+	cp := GetSlice(len(xs))
+	defer PutSlice(cp)
+	copy(cp, xs)
 	sort.Float64s(cp)
 	n := len(cp)
 	if n%2 == 1 {
@@ -93,7 +95,8 @@ func MAD(xs []float64) float64 {
 		return 0
 	}
 	m := Median(xs)
-	devs := make([]float64, len(xs))
+	devs := GetSlice(len(xs))
+	defer PutSlice(devs)
 	for i, x := range xs {
 		devs[i] = math.Abs(x - m)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/tag"
 	"repro/internal/units"
 	"repro/internal/uplink"
@@ -74,28 +75,42 @@ func BinningAblation(opt Options) (*Table, error) {
 	return runUplinkAblation(t, variants, opt, true)
 }
 
-// runUplinkAblation sweeps the variants over the ablation distances.
+// runUplinkAblation sweeps the variants over the ablation distances,
+// fanning the (distance, variant, trial) grid across the engine.
 func runUplinkAblation(t *Table, variants []uplink.Variant, opt Options, bursty bool) (*Table, error) {
+	perCell := opt.Trials
+	errsPer, err := parallel.Map(opt.engine(), len(ablationDistances)*len(variants)*perCell,
+		func(i int) (int, error) {
+			cm := ablationDistances[i/(len(variants)*perCell)]
+			v := variants[i/perCell%len(variants)]
+			trial := i % perCell
+			res, err := core.RunUplinkVariantTrial(core.UplinkTrialSpec{
+				Config: core.Config{
+					Seed:              opt.Seed + int64(trial)*8009 + int64(cm)*7,
+					TagReaderDistance: units.Centimeters(cm),
+				},
+				BitRate:                helperRate / 30,
+				HelperPacketsPerSecond: helperRate,
+				PayloadLen:             opt.PayloadLen,
+				Bursty:                 bursty,
+			}, v)
+			if err != nil {
+				return 0, err
+			}
+			return res.BitErrors, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
 	for _, cm := range ablationDistances {
 		row := []string{fmt.Sprintf("%.0f cm", cm)}
-		for _, v := range variants {
+		for range variants {
 			errs, bits := 0, 0
-			for trial := 0; trial < opt.Trials; trial++ {
-				res, err := core.RunUplinkVariantTrial(core.UplinkTrialSpec{
-					Config: core.Config{
-						Seed:              opt.Seed + int64(trial)*8009 + int64(cm)*7,
-						TagReaderDistance: units.Centimeters(cm),
-					},
-					BitRate:                helperRate / 30,
-					HelperPacketsPerSecond: helperRate,
-					PayloadLen:             opt.PayloadLen,
-					Bursty:                 bursty,
-				}, v)
-				if err != nil {
-					return nil, err
-				}
-				errs += res.BitErrors
+			for trial := 0; trial < perCell; trial++ {
+				errs += errsPer[idx]
 				bits += opt.PayloadLen
+				idx++
 			}
 			row = append(row, fmtBER(errs, bits))
 		}
@@ -106,7 +121,9 @@ func runUplinkAblation(t *Table, variants []uplink.Variant, opt Options, bursty 
 
 // ThresholdAblation compares the adaptive peak/2 set-threshold circuit
 // against a fixed threshold calibrated for a 1 m link, across distance.
-func ThresholdAblation(bitsPerPoint int, seed int64) (*Table, error) {
+// The distance × circuit grid fans out over workers goroutines
+// (0 = GOMAXPROCS, 1 = serial) with identical results.
+func ThresholdAblation(bitsPerPoint int, seed int64, workers int) (*Table, error) {
 	if bitsPerPoint <= 0 {
 		bitsPerPoint = 20_000
 	}
@@ -120,17 +137,20 @@ func ThresholdAblation(bitsPerPoint int, seed int64) (*Table, error) {
 	// Calibrate the fixed threshold to roughly half the steady envelope
 	// at 1 m.
 	cal := 0.5 * tag.ReceivedEnvelopeScale(16, 1, wifi.ChannelFreq(6))
-	for _, m := range []float64{0.5, 1.0, 2.0, 3.0} {
-		adaptive, err := core.DownlinkBERTrial(units.Meters(m), 16, 50e-6, bitsPerPoint, seed+int64(m*10))
-		if err != nil {
-			return nil, err
+	distances := []float64{0.5, 1.0, 2.0, 3.0}
+	errsPer, err := parallel.Map(parallel.New(workers), len(distances)*2, func(i int) (int, error) {
+		m := distances[i/2]
+		if i%2 == 0 {
+			return core.DownlinkBERTrial(units.Meters(m), 16, 50e-6, bitsPerPoint, seed+int64(m*10))
 		}
-		fixed, err := core.DownlinkBERTrialWithCircuit(units.Meters(m), 16, 50e-6, bitsPerPoint,
+		return core.DownlinkBERTrialWithCircuit(units.Meters(m), 16, 50e-6, bitsPerPoint,
 			seed+int64(m*10), func(c *tag.Circuit) { c.FixedThreshold = cal })
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%.1f m", m), fmtBER(adaptive, bitsPerPoint), fmtBER(fixed, bitsPerPoint))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, m := range distances {
+		t.AddRow(fmt.Sprintf("%.1f m", m), fmtBER(errsPer[di*2], bitsPerPoint), fmtBER(errsPer[di*2+1], bitsPerPoint))
 	}
 	return t, nil
 }

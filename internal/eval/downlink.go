@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/tag"
@@ -20,8 +21,9 @@ var Fig17BitDurations = []float64{50e-6, 100e-6, 200e-6}
 
 // DownlinkBER reproduces Fig. 17: downlink BER vs distance for the three
 // bit rates. bitsPerPoint scales the run (the paper transmits 200 kilobits
-// per point).
-func DownlinkBER(bitsPerPoint int, seed int64) (*Table, error) {
+// per point). The distance × rate grid fans out over workers goroutines
+// (0 = GOMAXPROCS, 1 = serial) with identical results.
+func DownlinkBER(bitsPerPoint int, seed int64, workers int) (*Table, error) {
 	if bitsPerPoint <= 0 {
 		bitsPerPoint = 200_000
 	}
@@ -31,15 +33,20 @@ func DownlinkBER(bitsPerPoint int, seed int64) (*Table, error) {
 			"(+16 dBm reader); lower rates reach farther",
 		Columns: []string{"distance", "20 kbps", "10 kbps", "5 kbps"},
 	}
-	for _, m := range Fig17Distances {
-		row := []string{fmt.Sprintf("%.2f m", m)}
-		for _, bd := range Fig17BitDurations {
-			errs, err := core.DownlinkBERTrial(units.Meters(m), 16, bd, bitsPerPoint,
+	errsPer, err := parallel.Map(parallel.New(workers), len(Fig17Distances)*len(Fig17BitDurations),
+		func(i int) (int, error) {
+			m := Fig17Distances[i/len(Fig17BitDurations)]
+			bd := Fig17BitDurations[i%len(Fig17BitDurations)]
+			return core.DownlinkBERTrial(units.Meters(m), 16, bd, bitsPerPoint,
 				seed+int64(m*1000)+int64(bd*1e7))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmtBER(errs, bitsPerPoint))
+		})
+	if err != nil {
+		return nil, err
+	}
+	for di, m := range Fig17Distances {
+		row := []string{fmt.Sprintf("%.2f m", m)}
+		for bi := range Fig17BitDurations {
+			row = append(row, fmtBER(errsPer[di*len(Fig17BitDurations)+bi], bitsPerPoint))
 		}
 		t.AddRow(row...)
 	}
@@ -49,8 +56,10 @@ func DownlinkBER(bitsPerPoint int, seed int64) (*Table, error) {
 // FalsePositives reproduces Fig. 18: the rate at which ordinary Wi-Fi
 // traffic spuriously matches the downlink preamble and wakes the tag's
 // microcontroller. The tag sits 30 cm from an AP streaming music to a
-// client (the paper streams Pandora); hoursSimulated scales the run.
-func FalsePositives(hoursSimulated float64, seed int64) (*Table, error) {
+// client (the paper streams Pandora); hoursSimulated scales the run. The
+// per-hour simulations fan out over workers goroutines (0 = GOMAXPROCS,
+// 1 = serial) with identical results.
+func FalsePositives(hoursSimulated float64, seed int64, workers int) (*Table, error) {
 	if hoursSimulated <= 0 {
 		hoursSimulated = 0.25
 	}
@@ -63,15 +72,20 @@ func FalsePositives(hoursSimulated float64, seed int64) (*Table, error) {
 			"conservatively)",
 		Columns: []string{"time of day", "traffic pkt/s", "false positives/hour"},
 	}
-	for _, hour := range []float64{10, 12, 14, 16, 18} {
-		load := wifi.OfficeLoad(hour)
-		matches, pkts, err := falsePositiveRun(load, hoursSimulated*3600, seed+int64(hour))
-		if err != nil {
-			return nil, err
-		}
-		perHour := float64(matches) / hoursSimulated
+	hours := []float64{10, 12, 14, 16, 18}
+	type counts struct{ matches, pkts int }
+	results, err := parallel.Map(parallel.New(workers), len(hours), func(i int) (counts, error) {
+		hour := hours[i]
+		matches, pkts, err := falsePositiveRun(wifi.OfficeLoad(hour), hoursSimulated*3600, seed+int64(hour))
+		return counts{matches, pkts}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, hour := range hours {
+		perHour := float64(results[i].matches) / hoursSimulated
 		t.AddRow(fmt.Sprintf("%02.0f:00", hour),
-			fmt.Sprintf("%.0f", float64(pkts)/(hoursSimulated*3600)),
+			fmt.Sprintf("%.0f", float64(results[i].pkts)/(hoursSimulated*3600)),
 			fmt.Sprintf("%.1f", perHour))
 	}
 	return t, nil

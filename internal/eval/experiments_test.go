@@ -276,7 +276,7 @@ func TestBeaconOnlyGrowsWithBeaconRate(t *testing.T) {
 }
 
 func TestDownlinkBERShape(t *testing.T) {
-	tab, err := DownlinkBER(3000, 9)
+	tab, err := DownlinkBER(3000, 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +297,7 @@ func TestDownlinkBERShape(t *testing.T) {
 }
 
 func TestFalsePositivesLow(t *testing.T) {
-	tab, err := FalsePositives(0.02, 10)
+	tab, err := FalsePositives(0.02, 10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +310,7 @@ func TestFalsePositivesLow(t *testing.T) {
 }
 
 func TestWiFiImpactWithinVariance(t *testing.T) {
-	tab, err := WiFiImpact(units.Centimeters(5), 20, 12)
+	tab, err := WiFiImpact(units.Centimeters(5), 20, 12, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,7 +428,7 @@ func TestDecisionAblationRuns(t *testing.T) {
 }
 
 func TestThresholdAblation(t *testing.T) {
-	tab, err := ThresholdAblation(3000, 24)
+	tab, err := ThresholdAblation(3000, 24, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/radio"
 	"repro/internal/tag"
 	"repro/internal/units"
@@ -23,26 +24,35 @@ func ChannelSweep(opt Options) (*Table, error) {
 		Note:    "paper: results on other 2.4 GHz channels are similar to channel 6",
 		Columns: []string{"Wi-Fi channel", "carrier", "BER"},
 	}
-	for _, ch := range []int{1, 6, 11} {
+	channels := []int{1, 6, 11}
+	errsPer, err := parallel.Map(opt.engine(), len(channels)*opt.Trials, func(i int) (int, error) {
+		ch := channels[i/opt.Trials]
+		trial := i % opt.Trials
 		chCfg := radio.DefaultChannelConfig()
 		chCfg.Carrier = wifi.ChannelFreq(ch)
+		res, err := core.RunUplinkTrial(core.UplinkTrialSpec{
+			Config: core.Config{
+				Seed:              opt.Seed + int64(trial)*9001 + int64(ch),
+				TagReaderDistance: units.Centimeters(30),
+				Channel:           &chCfg,
+			},
+			BitRate:                helperRate / 30,
+			HelperPacketsPerSecond: helperRate,
+			PayloadLen:             opt.PayloadLen,
+			Mode:                   core.DecodeCSI,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.BitErrors, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, ch := range channels {
 		errs, bits := 0, 0
 		for trial := 0; trial < opt.Trials; trial++ {
-			res, err := core.RunUplinkTrial(core.UplinkTrialSpec{
-				Config: core.Config{
-					Seed:              opt.Seed + int64(trial)*9001 + int64(ch),
-					TagReaderDistance: units.Centimeters(30),
-					Channel:           &chCfg,
-				},
-				BitRate:                helperRate / 30,
-				HelperPacketsPerSecond: helperRate,
-				PayloadLen:             opt.PayloadLen,
-				Mode:                   core.DecodeCSI,
-			})
-			if err != nil {
-				return nil, err
-			}
-			errs += res.BitErrors
+			errs += errsPer[ci*opt.Trials+trial]
 			bits += opt.PayloadLen
 		}
 		t.AddRow(fmt.Sprintf("%d", ch), wifi.ChannelFreq(ch).String(), fmtBER(errs, bits))
@@ -60,41 +70,54 @@ func AckDetection(opt Options) (*Table, error) {
 			"it by many-channel preamble correlation",
 		Columns: []string{"distance", "detections", "false alarms"},
 	}
-	for _, cm := range []float64{5, 25, 45, 65} {
-		detected, falses := 0, 0
-		for trial := 0; trial < opt.Trials; trial++ {
+	distances := []float64{5, 25, 45, 65}
+	type outcome struct{ detected, falseAlarm bool }
+	results, err := parallel.Map(opt.engine(), len(distances)*opt.Trials,
+		func(i int) (outcome, error) {
+			cm := distances[i/opt.Trials]
+			trial := i % opt.Trials
 			sys, err := core.NewSystem(core.Config{
 				Seed:              opt.Seed + int64(trial)*11003 + int64(cm),
 				TagReaderDistance: units.Centimeters(cm),
 			})
 			if err != nil {
-				return nil, err
+				return outcome{}, err
 			}
 			(&wifi.CBRSource{
 				Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 1.0 / helperRate,
 			}).Start()
 			mod, err := sys.TransmitUplink(uplink.AckBits(), 1.0, helperRate/10)
 			if err != nil {
-				return nil, err
+				return outcome{}, err
 			}
 			sys.Run(mod.End() + 1.0)
 			dec, err := sys.UplinkDecoder(helperRate / 10)
 			if err != nil {
-				return nil, err
+				return outcome{}, err
 			}
-			ok, _, err := dec.DetectAck(sys.Series(), mod.Start())
+			var out outcome
+			out.detected, _, err = dec.DetectAck(sys.Series(), mod.Start())
 			if err != nil {
-				return nil, err
-			}
-			if ok {
-				detected++
+				return outcome{}, err
 			}
 			// Probe an idle window for a false alarm.
-			ok, _, err = dec.DetectAck(sys.Series(), mod.End()+0.3)
+			out.falseAlarm, _, err = dec.DetectAck(sys.Series(), mod.End()+0.3)
 			if err != nil {
-				return nil, err
+				return outcome{}, err
 			}
-			if ok {
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for di, cm := range distances {
+		detected, falses := 0, 0
+		for trial := 0; trial < opt.Trials; trial++ {
+			o := results[di*opt.Trials+trial]
+			if o.detected {
+				detected++
+			}
+			if o.falseAlarm {
 				falses++
 			}
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/inventory"
+	"repro/internal/parallel"
 	"repro/internal/units"
 	"repro/internal/wifi"
 )
@@ -22,32 +23,39 @@ func MultiTagInventory(opt Options) (*Table, error) {
 			"the population drains",
 		Columns: []string{"tags", "identified", "rounds", "slots", "collisions", "air time"},
 	}
-	for _, n := range []int{1, 2, 4, 6, 8} {
-		sys, err := core.NewSystem(core.Config{
-			Seed:              opt.Seed + int64(n)*37,
-			TagReaderDistance: units.Centimeters(12),
+	populations := []int{1, 2, 4, 6, 8}
+	// Each population size is one self-contained simulation; fan them out.
+	results, err := parallel.Map(opt.engine(), len(populations),
+		func(i int) (*inventory.Result, error) {
+			n := populations[i]
+			sys, err := core.NewSystem(core.Config{
+				Seed:              opt.Seed + int64(n)*37,
+				TagReaderDistance: units.Centimeters(12),
+			})
+			if err != nil {
+				return nil, err
+			}
+			(&wifi.CBRSource{
+				Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 0.001,
+			}).Start()
+			sys.Run(0.3)
+			ids := make([]uint64, n)
+			dists := make([]units.Meters, n)
+			for i := range ids {
+				ids[i] = 0xA000 + uint64(i)
+				dists[i] = units.Centimeters(12 + 4*float64(i))
+			}
+			inv, err := inventory.New(sys, ids, dists, inventory.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			return inv.Run()
 		})
-		if err != nil {
-			return nil, err
-		}
-		(&wifi.CBRSource{
-			Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 0.001,
-		}).Start()
-		sys.Run(0.3)
-		ids := make([]uint64, n)
-		dists := make([]units.Meters, n)
-		for i := range ids {
-			ids[i] = 0xA000 + uint64(i)
-			dists[i] = units.Centimeters(12 + 4*float64(i))
-		}
-		inv, err := inventory.New(sys, ids, dists, inventory.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		res, err := inv.Run()
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range populations {
+		res := results[i]
 		t.AddRow(fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", len(res.Identified)),
 			fmt.Sprintf("%d", res.Rounds),

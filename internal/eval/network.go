@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/downlink"
+	"repro/internal/parallel"
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -51,16 +52,17 @@ func HelperLocations(opt Options) (*Table, error) {
 			"distance, not the helper's position",
 		Columns: []string{"location", "distance", "walls", "delivery probability"},
 	}
-	for _, loc := range TestbedLocations {
-		delivered, total := 0, 0
-		for trial := 0; trial < opt.Trials; trial++ {
+	deliveredPer, err := parallel.Map(opt.engine(), len(TestbedLocations)*opt.Trials,
+		func(i int) (bool, error) {
+			loc := TestbedLocations[i/opt.Trials]
+			trial := i % opt.Trials
 			sys, err := core.NewSystem(core.Config{
 				Seed:              opt.Seed + int64(trial)*5003 + int64(loc.Distance*10),
 				HelperTagDistance: loc.Distance,
 				HelperWalls:       loc.Walls,
 			})
 			if err != nil {
-				return nil, err
+				return false, err
 			}
 			(&wifi.CBRSource{
 				Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 1.0 / helperRate,
@@ -68,25 +70,33 @@ func HelperLocations(opt Options) (*Table, error) {
 			msg := downlink.NewMessage(uint64(opt.Seed) + uint64(trial)*77)
 			mod, err := sys.TransmitUplink(tag.FrameBits(tag.Scramble(msg.PayloadBits())), 1.0, 100)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
 			sys.Run(mod.End() + 0.5)
 			dec, err := sys.UplinkDecoder(100)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
 			res, err := dec.DecodeCSI(sys.Series(), mod.Start(), downlink.PayloadBits)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
-			total++
-			if got, perr := downlink.ParsePayload(tag.Scramble(res.Payload)); perr == nil && got.Data == msg.Data {
+			got, perr := downlink.ParsePayload(tag.Scramble(res.Payload))
+			return perr == nil && got.Data == msg.Data, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for li, loc := range TestbedLocations {
+		delivered := 0
+		for trial := 0; trial < opt.Trials; trial++ {
+			if deliveredPer[li*opt.Trials+trial] {
 				delivered++
 			}
 		}
 		t.AddRow(loc.Name, fmt.Sprintf("%.1f m", float64(loc.Distance)),
 			fmt.Sprintf("%d", loc.Walls),
-			fmt.Sprintf("%.2f", float64(delivered)/float64(total)))
+			fmt.Sprintf("%.2f", float64(delivered)/float64(opt.Trials)))
 	}
 	return t, nil
 }
@@ -105,9 +115,10 @@ func AmbientTraffic(opt Options) (*Table, error) {
 			"the afternoon peak with no injected traffic",
 		Columns: []string{"time", "load pkt/s", "achievable bit rate"},
 	}
+	eng := opt.engine()
 	for _, hour := range []float64{12, 13, 14, 15, 16, 17, 18, 19, 20} {
 		load := wifi.OfficeLoad(hour)
-		rate, err := achievableRate(AmbientRates, func(rate float64, trial int) (int, int, error) {
+		rate, err := achievableRate(eng, AmbientRates, func(rate float64, trial int) (int, int, error) {
 			sys, err := core.NewSystem(core.Config{
 				Seed: opt.Seed + int64(trial)*6007 + int64(hour)*31 + int64(rate),
 			})
@@ -161,8 +172,9 @@ func BeaconOnly(opt Options) (*Table, error) {
 			"70 beacons/s — the uplink needs no data traffic at all",
 		Columns: []string{"beacons/s", "achievable bit rate"},
 	}
+	eng := opt.engine()
 	for _, br := range []float64{10, 20, 30, 40, 50, 70} {
-		rate, err := achievableRate(BeaconRatesTested, func(rate float64, trial int) (int, int, error) {
+		rate, err := achievableRate(eng, BeaconRatesTested, func(rate float64, trial int) (int, int, error) {
 			if rate > br/1.4 {
 				// Fewer than ~1.4 beacons per bit cannot carry a bit.
 				return payload, payload, nil
@@ -195,8 +207,9 @@ func BeaconOnly(opt Options) (*Table, error) {
 // location and for the tag absent, at 100 bps, and at 1 kbps, with the
 // tag at the given distance from the receiver. Each run simulates a
 // two-minute UDP transfer with ARF rate adaptation, logging throughput
-// every 500 ms as the paper does.
-func WiFiImpact(tagDistance units.Meters, seconds float64, seed int64) (*Table, error) {
+// every 500 ms as the paper does. The location × rate grid fans out over
+// workers goroutines (0 = GOMAXPROCS, 1 = serial) with identical results.
+func WiFiImpact(tagDistance units.Meters, seconds float64, seed int64, workers int) (*Table, error) {
 	if seconds <= 0 {
 		seconds = 120
 	}
@@ -207,12 +220,20 @@ func WiFiImpact(tagDistance units.Meters, seconds float64, seed int64) (*Table, 
 			"small channel perturbation",
 		Columns: []string{"location", "no device", "100 bps", "1 kbps"},
 	}
-	for _, loc := range TestbedLocations {
-		row := []string{loc.Name}
-		for _, tagRate := range []float64{0, 100, 1000} {
+	tagRates := []float64{0, 100, 1000}
+	cells, err := parallel.Map(parallel.New(workers), len(TestbedLocations)*len(tagRates),
+		func(i int) (string, error) {
+			loc := TestbedLocations[i/len(tagRates)]
+			tagRate := tagRates[i%len(tagRates)]
 			mean, std := wifiImpactRun(loc, tagDistance, tagRate, seconds, seed)
-			row = append(row, fmt.Sprintf("%.2f±%.2f MB/s", mean, std))
-		}
+			return fmt.Sprintf("%.2f±%.2f MB/s", mean, std), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for li, loc := range TestbedLocations {
+		row := []string{loc.Name}
+		row = append(row, cells[li*len(tagRates):(li+1)*len(tagRates)]...)
 		t.AddRow(row...)
 	}
 	return t, nil

@@ -17,6 +17,10 @@ type Suite struct {
 	// Quick shrinks every experiment for smoke runs (~seconds instead of
 	// minutes).
 	Quick bool
+	// Workers bounds the goroutines evaluating independent trials within
+	// each experiment. 0 uses GOMAXPROCS; 1 forces serial execution.
+	// Tables are bit-identical for every value.
+	Workers int
 	// Progress, when non-nil, receives a line as each experiment starts.
 	Progress io.Writer
 }
@@ -24,9 +28,9 @@ type Suite struct {
 // options returns the trial options for the suite's scale.
 func (s Suite) options() Options {
 	if s.Quick {
-		return Options{Seed: s.Seed, Trials: 2, PayloadLen: 45}
+		return Options{Seed: s.Seed, Trials: 2, PayloadLen: 45, Workers: s.Workers}
 	}
-	return Options{Seed: s.Seed, Trials: 20, PayloadLen: 90}
+	return Options{Seed: s.Seed, Trials: 20, PayloadLen: 90, Workers: s.Workers}
 }
 
 // Experiment names one runnable experiment.
@@ -88,16 +92,16 @@ func (s Suite) Experiments() []Experiment {
 			return BeaconOnly(opt)
 		}},
 		{"fig17", "downlink BER vs distance", func() (*Table, error) {
-			return DownlinkBER(fig17Bits, s.Seed)
+			return DownlinkBER(fig17Bits, s.Seed, s.Workers)
 		}},
 		{"fig18", "downlink false positives", func() (*Table, error) {
-			return FalsePositives(fpHours, s.Seed)
+			return FalsePositives(fpHours, s.Seed, s.Workers)
 		}},
 		{"fig19a", "Wi-Fi impact, tag at 5 cm", func() (*Table, error) {
-			return WiFiImpact(units.Centimeters(5), fig19Seconds, s.Seed)
+			return WiFiImpact(units.Centimeters(5), fig19Seconds, s.Seed, s.Workers)
 		}},
 		{"fig19b", "Wi-Fi impact, tag at 30 cm", func() (*Table, error) {
-			return WiFiImpact(units.Centimeters(30), fig19Seconds, s.Seed)
+			return WiFiImpact(units.Centimeters(30), fig19Seconds, s.Seed, s.Workers)
 		}},
 		{"fig20", "correlation length vs distance", func() (*Table, error) {
 			return CorrelationRange(fig20Opt)
@@ -115,7 +119,7 @@ func (s Suite) Experiments() []Experiment {
 			return BinningAblation(opt)
 		}},
 		{"abl-thresh", "ablation: downlink threshold", func() (*Table, error) {
-			return ThresholdAblation(fig17Bits/4, s.Seed)
+			return ThresholdAblation(fig17Bits/4, s.Seed, s.Workers)
 		}},
 		{"inventory", "multi-tag inventory (§2 extension)", func() (*Table, error) {
 			return MultiTagInventory(opt)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/tag"
 	"repro/internal/units"
 	"repro/internal/wifi"
@@ -20,6 +21,11 @@ type Options struct {
 	Trials int
 	// PayloadLen bits per trial (the paper transmits 90-bit payloads).
 	PayloadLen int
+	// Workers bounds the goroutines evaluating independent trials.
+	// 0 uses GOMAXPROCS; 1 forces serial execution. Every trial builds
+	// its own simulation from an explicit per-trial seed, so results are
+	// bit-identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -31,6 +37,10 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// engine returns the trial-evaluation engine for the options' worker
+// count.
+func (o Options) engine() *parallel.Engine { return parallel.New(o.Workers) }
 
 // Fig10Distances are the tag-reader separations swept in Fig. 10.
 var Fig10Distances = []float64{5, 15, 25, 35, 45, 55, 65}
@@ -52,26 +62,50 @@ func UplinkBERvsDistance(mode core.DecodeMode, opt Options) (*Table, error) {
 			"BER rises with distance and falls with packets/bit",
 		Columns: []string{"distance", "30 pkt/bit", "6 pkt/bit", "3 pkt/bit"},
 	}
+	// Every (distance, density, trial) cell is independent: fan the full
+	// grid across the engine, then fold the per-trial errors back in grid
+	// order so the table matches the serial loop exactly.
+	type job struct {
+		cm, ppb float64
+	}
+	var jobs []job
+	for _, cm := range Fig10Distances {
+		for _, ppb := range Fig10PacketsPerBit {
+			for trial := 0; trial < opt.Trials; trial++ {
+				jobs = append(jobs, job{cm, ppb})
+			}
+		}
+	}
+	errsPer, err := parallel.Map(opt.engine(), len(jobs), func(i int) (int, error) {
+		j := jobs[i]
+		trial := i % opt.Trials
+		res, err := core.RunUplinkTrial(core.UplinkTrialSpec{
+			Config: core.Config{
+				Seed:              opt.Seed + int64(trial)*1009 + int64(j.cm)*13 + int64(j.ppb),
+				TagReaderDistance: units.Centimeters(j.cm),
+			},
+			BitRate:                helperRate / j.ppb,
+			HelperPacketsPerSecond: helperRate,
+			PayloadLen:             opt.PayloadLen,
+			Mode:                   mode,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.BitErrors, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
 	for _, cm := range Fig10Distances {
 		row := []string{fmt.Sprintf("%.0f cm", cm)}
-		for _, ppb := range Fig10PacketsPerBit {
+		for range Fig10PacketsPerBit {
 			errs, bits := 0, 0
 			for trial := 0; trial < opt.Trials; trial++ {
-				res, err := core.RunUplinkTrial(core.UplinkTrialSpec{
-					Config: core.Config{
-						Seed:              opt.Seed + int64(trial)*1009 + int64(cm)*13 + int64(ppb),
-						TagReaderDistance: units.Centimeters(cm),
-					},
-					BitRate:                helperRate / ppb,
-					HelperPacketsPerSecond: helperRate,
-					PayloadLen:             opt.PayloadLen,
-					Mode:                   mode,
-				})
-				if err != nil {
-					return nil, err
-				}
-				errs += res.BitErrors
+				errs += errsPer[idx]
 				bits += opt.PayloadLen
+				idx++
 			}
 			row = append(row, fmtBER(errs, bits))
 		}
@@ -98,9 +132,11 @@ func FrequencyDiversity(opt Options) (*Table, error) {
 			"combining across sub-channels extends reliable decoding to ~65 cm",
 		Columns: []string{"distance", "our algorithm", "random sub-channel"},
 	}
-	for _, cm := range Fig10Distances {
-		var ourErrs, ourBits, rndErrs, rndBits int
-		for trial := 0; trial < opt.Trials; trial++ {
+	type pair struct{ our, rnd int }
+	results, err := parallel.Map(opt.engine(), len(Fig10Distances)*opt.Trials,
+		func(i int) (pair, error) {
+			cm := Fig10Distances[i/opt.Trials]
+			trial := i % opt.Trials
 			spec := core.UplinkTrialSpec{
 				Config: core.Config{
 					Seed:              opt.Seed + int64(trial)*2003 + int64(cm)*17,
@@ -113,10 +149,8 @@ func FrequencyDiversity(opt Options) (*Table, error) {
 			}
 			full, err := core.RunUplinkTrial(spec)
 			if err != nil {
-				return nil, err
+				return pair{}, err
 			}
-			ourErrs += full.BitErrors
-			ourBits += opt.PayloadLen
 			// A random (antenna, sub-channel) pair, varied by trial.
 			ant := int(opt.Seed+int64(trial)) % 3
 			if ant < 0 {
@@ -125,9 +159,20 @@ func FrequencyDiversity(opt Options) (*Table, error) {
 			sub := (trial*7 + int(cm)) % 30
 			single, err := core.RunSingleChannelTrial(spec, ant, sub)
 			if err != nil {
-				return nil, err
+				return pair{}, err
 			}
-			rndErrs += single.BitErrors
+			return pair{our: full.BitErrors, rnd: single.BitErrors}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for di, cm := range Fig10Distances {
+		var ourErrs, ourBits, rndErrs, rndBits int
+		for trial := 0; trial < opt.Trials; trial++ {
+			p := results[di*opt.Trials+trial]
+			ourErrs += p.our
+			ourBits += opt.PayloadLen
+			rndErrs += p.rnd
 			rndBits += opt.PayloadLen
 		}
 		t.AddRow(fmt.Sprintf("%.0f cm", cm), fmtBER(ourErrs, ourBits), fmtBER(rndErrs, rndBits))
@@ -143,20 +188,28 @@ var StandardUplinkRates = []float64{100, 200, 500, 1000}
 // in that trial, and the reported value is the mean across trials ("We
 // compute the average achievable bit rate by taking the mean of the
 // achievable bit rates across multiple runs"). Zero errors qualifies
-// regardless of the trial's bit count.
-func achievableRate(rates []float64, run func(rate float64, trial int) (errs, bits int, err error), trials int) (float64, error) {
+// regardless of the trial's bit count. The (trial, rate) grid fans out
+// across eng; run must be safe for concurrent calls.
+func achievableRate(eng *parallel.Engine, rates []float64, run func(rate float64, trial int) (errs, bits int, err error), trials int) (float64, error) {
 	if trials <= 0 {
 		trials = 1
+	}
+	qualifies, err := parallel.Map(eng, trials*len(rates), func(i int) (bool, error) {
+		trial, rate := i/len(rates), rates[i%len(rates)]
+		e, b, err := run(rate, trial)
+		if err != nil {
+			return false, err
+		}
+		return b > 0 && float64(e)/float64(b) < 1e-2, nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	var sum float64
 	for trial := 0; trial < trials; trial++ {
 		best := 0.0
-		for _, rate := range rates {
-			e, b, err := run(rate, trial)
-			if err != nil {
-				return 0, err
-			}
-			if b > 0 && float64(e)/float64(b) < 1e-2 && rate > best {
+		for ri, rate := range rates {
+			if qualifies[trial*len(rates)+ri] && rate > best {
 				best = rate
 			}
 		}
@@ -179,8 +232,9 @@ func RateVsHelperRate(opt Options) (*Table, error) {
 			"(tag 5 cm from reader)",
 		Columns: []string{"helper pkt/s", "achievable bit rate"},
 	}
+	eng := opt.engine()
 	for _, hr := range Fig12HelperRates {
-		rate, err := achievableRate(StandardUplinkRates, func(rate float64, trial int) (int, int, error) {
+		rate, err := achievableRate(eng, StandardUplinkRates, func(rate float64, trial int) (int, int, error) {
 			res, err := core.RunUplinkTrial(core.UplinkTrialSpec{
 				Config: core.Config{
 					Seed: opt.Seed + int64(trial)*3001 + int64(hr) + int64(rate),
@@ -224,11 +278,14 @@ func CorrelationRange(opt Options) (*Table, error) {
 			"required length grows steeply with distance",
 		Columns: []string{"distance", "min code length (BER < 1e-2)"},
 	}
+	eng := opt.engine()
 	for _, cm := range Fig20Distances {
 		found := 0
+		// The code-length search keeps its serial early exit (the next
+		// length only runs when the previous one failed); the trials
+		// within each length fan out.
 		for _, L := range Fig20CodeLengths {
-			errs, bits := 0, 0
-			for trial := 0; trial < opt.Trials; trial++ {
+			errsPer, err := parallel.Map(eng, opt.Trials, func(trial int) (int, error) {
 				res, err := core.RunLongRangeTrial(core.UplinkTrialSpec{
 					Config: core.Config{
 						Seed:              opt.Seed + int64(trial)*4001 + int64(cm)*3 + int64(L),
@@ -239,9 +296,16 @@ func CorrelationRange(opt Options) (*Table, error) {
 					PayloadLen:             payload,
 				}, L)
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
-				errs += res.BitErrors
+				return res.BitErrors, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			errs, bits := 0, 0
+			for _, e := range errsPer {
+				errs += e
 				bits += payload
 			}
 			if float64(errs)/float64(bits) < 1e-2 {
@@ -433,7 +497,10 @@ func GoodSubchannels(opt Options) (*Table, error) {
 		Columns: []string{"distance", "good sub-channels", "count"},
 	}
 	payload := opt.PayloadLen
-	for _, cm := range []float64{5, 15, 25, 35, 45, 55, 65} {
+	distances := []float64{5, 15, 25, 35, 45, 55, 65}
+	// Each distance runs one self-contained simulation; fan them out.
+	goodPer, err := parallel.Map(opt.engine(), len(distances), func(i int) ([]int, error) {
+		cm := distances[i]
 		sys, err := core.NewSystem(core.Config{
 			Seed:              opt.Seed + int64(cm)*101,
 			TagReaderDistance: units.Centimeters(cm),
@@ -464,7 +531,13 @@ func GoodSubchannels(opt Options) (*Table, error) {
 				good = append(good, k)
 			}
 		}
-		t.AddRow(fmt.Sprintf("%.0f cm", cm), intsToString(good), fmt.Sprintf("%d", len(good)))
+		return good, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cm := range distances {
+		t.AddRow(fmt.Sprintf("%.0f cm", cm), intsToString(goodPer[i]), fmt.Sprintf("%d", len(goodPer[i])))
 	}
 	return t, nil
 }

@@ -1,0 +1,157 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("New(0).Workers() = %d, want %d", got, want)
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3).Workers() = %d", got)
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Errorf("New(7).Workers() = %d, want 7", got)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 33} {
+		const n = 100
+		var counts [n]atomic.Int32
+		err := New(workers).ForEach(n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	e := New(4)
+	for _, n := range []int{0, -5} {
+		if err := e.ForEach(n, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestForEachReturnsSmallestIndexError(t *testing.T) {
+	// Jobs 3 and 7 fail; the reported error must be job 3's (what the
+	// serial loop would surface), for every worker count.
+	for _, workers := range []int{1, 2, 8} {
+		err := New(workers).ForEach(10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Errorf("workers=%d: err = %v, want job 3's", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsDispatchAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := New(2).ForEach(10_000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n > 9000 {
+		t.Errorf("ran %d jobs after an early error; dispatch should stop", n)
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := New(workers).ForEach(5, func(i int) error {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic not converted to error", workers)
+		}
+	}
+}
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	got, err := Map(New(8), 50, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapNilOnError(t *testing.T) {
+	got, err := Map(New(4), 5, func(i int) (int, error) {
+		if i == 4 {
+			return 0, errors.New("late failure")
+		}
+		return i, nil
+	})
+	if err == nil || got != nil {
+		t.Fatalf("got %v, err %v; want nil, error", got, err)
+	}
+}
+
+// TestMapDeterministicAcrossWorkerCounts is the engine-level statement of
+// the tentpole invariant: for trial workloads that derive all randomness
+// from rng.TrialStream(seed, i), the result slice is bit-identical no
+// matter how many workers execute it.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	f := func(seed int64, nRaw, wRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		workers := int(wRaw)%8 + 2
+		trial := func(i int) (float64, error) {
+			r := rng.TrialStream(seed, i)
+			var sum float64
+			for k := 0; k < 100; k++ {
+				sum += r.Gaussian(0, 1)
+			}
+			return sum, nil
+		}
+		serial, err1 := Map(New(1), n, trial)
+		par, err2 := Map(New(workers), n, trial)
+		if err1 != nil || err2 != nil || len(serial) != len(par) {
+			return false
+		}
+		for i := range serial {
+			if serial[i] != par[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

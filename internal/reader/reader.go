@@ -6,7 +6,6 @@ package reader
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/downlink"
 	"repro/internal/wifi"
@@ -40,8 +39,14 @@ func NewRateAdvisor() RateAdvisor {
 }
 
 // Advise returns the highest selectable rate not exceeding
-// Safety · N / M, or 0 when even the lowest rate cannot be sustained.
+// Safety · N / M, or 0 when even the lowest rate cannot be sustained
+// (including a zero or negative helper rate). Rates may be in any order;
+// the scan picks the maximum qualifying rate directly, so no per-call
+// sorting or copying happens.
 func (ra RateAdvisor) Advise(helperPacketsPerSecond float64) float64 {
+	if helperPacketsPerSecond <= 0 {
+		return 0
+	}
 	m := ra.PacketsPerBit
 	if m <= 0 {
 		m = 4
@@ -55,11 +60,9 @@ func (ra RateAdvisor) Advise(helperPacketsPerSecond float64) float64 {
 	if len(rates) == 0 {
 		rates = StandardRates
 	}
-	sorted := append([]float64(nil), rates...)
-	sort.Float64s(sorted)
 	best := 0.0
-	for _, r := range sorted {
-		if r <= budget {
+	for _, r := range rates {
+		if r <= budget && r > best {
 			best = r
 		}
 	}

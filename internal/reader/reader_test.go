@@ -31,6 +31,49 @@ func TestAdviseZeroWhenStarved(t *testing.T) {
 	}
 }
 
+func TestAdviseEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		ra   RateAdvisor
+		n    float64
+		want float64
+	}{
+		{"zero helper rate", NewRateAdvisor(), 0, 0},
+		{"negative helper rate", NewRateAdvisor(), -500, 0},
+		{"negative rate with permissive config", RateAdvisor{PacketsPerBit: 1, Safety: 1}, -1, 0},
+		{"unsorted custom rates", RateAdvisor{PacketsPerBit: 4, Safety: 0.8,
+			Rates: []float64{1000, 100, 500, 200}}, 3070, 500},
+		{"descending custom rates pick max qualifying", RateAdvisor{PacketsPerBit: 1, Safety: 1,
+			Rates: []float64{1000, 500, 200, 100}}, 700, 500},
+		{"single unaffordable rate", RateAdvisor{PacketsPerBit: 4, Safety: 0.8,
+			Rates: []float64{1000}}, 500, 0},
+		{"empty rates fall back to standard", RateAdvisor{PacketsPerBit: 4, Safety: 0.8}, 500, 100},
+	}
+	for _, tc := range cases {
+		if got := tc.ra.Advise(tc.n); got != tc.want {
+			t.Errorf("%s: Advise(%v) = %v, want %v", tc.name, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestAdviseOrderInvariantProperty pins the no-sort rewrite: any
+// permutation of Rates yields the same advice.
+func TestAdviseOrderInvariantProperty(t *testing.T) {
+	f := func(n uint16, seed int64) bool {
+		base := RateAdvisor{PacketsPerBit: 4, Safety: 0.8,
+			Rates: []float64{100, 200, 500, 1000}}
+		shuffled := RateAdvisor{PacketsPerBit: 4, Safety: 0.8,
+			Rates: append([]float64(nil), base.Rates...)}
+		rng.New(seed).Shuffle(len(shuffled.Rates), func(i, j int) {
+			shuffled.Rates[i], shuffled.Rates[j] = shuffled.Rates[j], shuffled.Rates[i]
+		})
+		return base.Advise(float64(n)) == shuffled.Advise(float64(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestAdviseMonotoneProperty(t *testing.T) {
 	ra := NewRateAdvisor()
 	f := func(a, b uint16) bool {

@@ -26,6 +26,25 @@ func New(seed int64) *Stream {
 	return &Stream{r: rand.New(rand.NewSource(seed))}
 }
 
+// TrialSeed derives the seed of trial i in a sweep seeded with base. The
+// mapping is a fixed bijective mix (splitmix64 finalizer) of base+i, so
+// neighbouring trials get decorrelated sequences while the (base, i) pair
+// always yields the same seed — the property the parallel trial engine
+// relies on to make concurrent sweeps bit-identical to serial ones.
+func TrialSeed(base int64, trial int) int64 {
+	z := uint64(base) + uint64(trial)*0x9E3779B97F4A7C15
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return int64(z ^ z>>31)
+}
+
+// TrialStream returns the deterministic stream of trial i under base:
+// New(TrialSeed(base, i)). Each trial must use its own stream; streams
+// are not safe for concurrent use.
+func TrialStream(base int64, trial int) *Stream {
+	return New(TrialSeed(base, trial))
+}
+
 // Split derives an independent child stream identified by name. The same
 // (parent seed, name) pair always yields the same child sequence, and
 // distinct names yield decorrelated sequences.

@@ -143,13 +143,23 @@ func binMeans(values []float64, bins [][]int) (means []float64, ok []bool) {
 	return means, ok
 }
 
-// channelStats holds one channel's preamble fit.
+// channelStats holds one channel's preamble fit. cond comes from the dsp
+// buffer pool; callers release a batch with releaseStats once combining is
+// done.
 type channelStats struct {
 	id       ChannelID
 	corr     float64 // signed preamble correlation
 	sign     float64 // polarity (+1/-1)
 	variance float64 // per-measurement residual variance during preamble
 	cond     []float64
+}
+
+// releaseStats returns the pooled conditioned series held by stats.
+func releaseStats(stats []channelStats) {
+	for i := range stats {
+		dsp.PutSlice(stats[i].cond)
+		stats[i].cond = nil
+	}
 }
 
 // windowFor returns the conditioning window in seconds. The configured
@@ -184,7 +194,8 @@ func frameRange(ts []float64, start, end float64) (lo, hi int) {
 // analyzeChannel conditions one raw series and scores it against the
 // preamble.
 func analyzeChannel(id ChannelID, raw []float64, ts []float64, bins [][]int, cfg Config) channelStats {
-	cond := dsp.ConditionTwoPass(raw, windowSamples(ts, cfg.windowFor(len(bins))))
+	cond := dsp.GetSlice(len(raw))
+	dsp.ConditionTwoPassInto(cond, raw, windowSamples(ts, cfg.windowFor(len(bins))))
 	means, ok := binMeans(cond, bins)
 	// Preamble correlation over the first 13 bit bins.
 	var dot, mm, pp float64
@@ -255,6 +266,9 @@ func (d *Decoder) DecodeCSI(s *csi.Series, start float64, payloadLen int) (*Resu
 	if s.Len() == 0 {
 		return nil, fmt.Errorf("uplink: empty measurement series")
 	}
+	if err := s.CheckShape(); err != nil {
+		return nil, err
+	}
 	nbits := nFrameBits(payloadLen)
 	ts := s.Timestamps()
 	lo, hi := frameRange(ts, start, start+float64(nbits)*d.cfg.BitDuration)
@@ -263,10 +277,17 @@ func (d *Decoder) DecodeCSI(s *csi.Series, start float64, payloadLen int) (*Resu
 	}
 	ts = ts[lo:hi]
 	bins := binByTimestamp(ts, start, d.cfg.BitDuration, nbits)
-	var stats []channelStats
+	// One pooled extraction buffer serves the whole 90-channel scan; each
+	// channel's conditioned series is pooled too and released after
+	// combining.
+	raw := dsp.GetSlice(s.Len())
+	defer func() { dsp.PutSlice(raw) }()
+	stats := make([]channelStats, 0, s.Antennas()*s.Subchannels())
+	defer func() { releaseStats(stats) }()
 	for a := 0; a < s.Antennas(); a++ {
 		for k := 0; k < s.Subchannels(); k++ {
-			raw, err := s.CSIChannel(a, k)
+			var err error
+			raw, err = s.CSIChannelInto(raw, a, k)
 			if err != nil {
 				return nil, err
 			}
@@ -285,6 +306,9 @@ func (d *Decoder) DecodeRSSI(s *csi.Series, start float64, payloadLen int) (*Res
 	if s.Len() == 0 {
 		return nil, fmt.Errorf("uplink: empty measurement series")
 	}
+	if err := s.CheckShape(); err != nil {
+		return nil, err
+	}
 	nbits := nFrameBits(payloadLen)
 	ts := s.Timestamps()
 	lo, hi := frameRange(ts, start, start+float64(nbits)*d.cfg.BitDuration)
@@ -293,13 +317,20 @@ func (d *Decoder) DecodeRSSI(s *csi.Series, start float64, payloadLen int) (*Res
 	}
 	ts = ts[lo:hi]
 	bins := binByTimestamp(ts, start, d.cfg.BitDuration, nbits)
-	var stats []channelStats
+	raw := dsp.GetSlice(s.Len())
+	defer func() { dsp.PutSlice(raw) }()
+	stats := make([]channelStats, 0, s.Antennas())
+	defer func() { releaseStats(stats) }()
 	for a := 0; a < s.Antennas(); a++ {
-		raw, err := s.RSSIChannel(a)
+		var err error
+		raw, err = s.RSSIChannelInto(raw, a)
 		if err != nil {
 			return nil, err
 		}
 		stats = append(stats, analyzeChannel(ChannelID{a, -1}, raw[lo:hi], ts, bins, d.cfg))
+	}
+	if len(stats) == 0 {
+		return nil, fmt.Errorf("uplink: series has no antennas")
 	}
 	// RSSI mode uses the single best channel.
 	sort.Slice(stats, func(i, j int) bool {
@@ -329,7 +360,8 @@ func (d *Decoder) combineSelected(sel []channelStats, bins [][]int, payloadLen i
 	}
 	n := len(sel[0].cond)
 	// Per-measurement MRC: y_t = Σ sign_i · c_i(t) / σ_i².
-	combined := make([]float64, n)
+	combined := dsp.GetSlice(n)
+	defer dsp.PutSlice(combined)
 	for _, st := range sel {
 		w := st.sign / st.variance
 		for t, v := range st.cond {
@@ -346,7 +378,8 @@ func (d *Decoder) combineSelected(sel []channelStats, bins [][]int, payloadLen i
 	mu := dsp.Mean(combined)
 	sd := dsp.MeanAbsDev(combined)
 	hyst := dsp.NewHysteresis(mu, sd)
-	decisions := make([]float64, n)
+	decisions := dsp.GetSlice(n)
+	defer dsp.PutSlice(decisions)
 	for t, v := range combined {
 		if hyst.Update(v) {
 			decisions[t] = 1
@@ -354,22 +387,27 @@ func (d *Decoder) combineSelected(sel []channelStats, bins [][]int, payloadLen i
 			decisions[t] = -1
 		}
 	}
-	// Majority vote per payload bit.
+	// Majority vote per payload bit. Decisions are ±1, so counting the
+	// positive ones in place is exactly dsp.MajorityVote without the
+	// per-bit vote slice.
 	payload := make([]bool, payloadLen)
 	var measured float64
 	for b := 0; b < payloadLen; b++ {
 		bin := bins[13+b]
-		votes := make([]float64, len(bin))
-		for i, idx := range bin {
-			votes[i] = decisions[idx]
+		pos := 0
+		for _, idx := range bin {
+			if decisions[idx] > 0 {
+				pos++
+			}
 		}
-		payload[b] = dsp.MajorityVote(votes)
+		payload[b] = pos*2 > len(bin)
 		measured += float64(len(bin))
 	}
 	res := &Result{
 		Payload:             payload,
 		PreambleCorrelation: math.Abs(sel[0].corr),
 		MeasurementsPerBit:  measured / float64(payloadLen),
+		Good:                make([]ChannelID, 0, len(sel)),
 	}
 	for _, st := range sel {
 		res.Good = append(res.Good, st.id)
@@ -386,6 +424,9 @@ func (d *Decoder) Detected(r *Result) bool {
 // NormalizedChannel exposes the conditioned (detrended, normalized) series
 // of one CSI channel — the quantity whose PDF Fig. 4 plots.
 func (d *Decoder) NormalizedChannel(s *csi.Series, antenna, subchannel int) ([]float64, error) {
+	if err := s.CheckShape(); err != nil {
+		return nil, err
+	}
 	raw, err := s.CSIChannel(antenna, subchannel)
 	if err != nil {
 		return nil, err
@@ -400,6 +441,9 @@ func (d *Decoder) DecodeSingleChannel(s *csi.Series, start float64, payloadLen, 
 	if payloadLen <= 0 {
 		return nil, fmt.Errorf("uplink: payload length must be positive, got %d", payloadLen)
 	}
+	if err := s.CheckShape(); err != nil {
+		return nil, err
+	}
 	raw, err := s.CSIChannel(antenna, subchannel)
 	if err != nil {
 		return nil, err
@@ -413,5 +457,6 @@ func (d *Decoder) DecodeSingleChannel(s *csi.Series, start float64, payloadLen, 
 	ts = ts[lo:hi]
 	bins := binByTimestamp(ts, start, d.cfg.BitDuration, nbits)
 	st := analyzeChannel(ChannelID{antenna, subchannel}, raw[lo:hi], ts, bins, d.cfg)
+	defer dsp.PutSlice(st.cond)
 	return d.combineSelected([]channelStats{st}, bins, payloadLen)
 }

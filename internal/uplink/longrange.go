@@ -47,6 +47,9 @@ func (d *Decoder) DecodeLongRange(s *csi.Series, start float64, payloadLen int, 
 	if s.Len() == 0 {
 		return nil, fmt.Errorf("uplink: empty measurement series")
 	}
+	if err := s.CheckShape(); err != nil {
+		return nil, err
+	}
 	L := len(code0)
 	nChips := 13 + payloadLen*L + 13
 	ts := s.Timestamps()
@@ -64,14 +67,21 @@ func (d *Decoder) DecodeLongRange(s *csi.Series, start float64, payloadLen int, 
 		ok    []bool
 		score float64
 	}
-	var channels []chipChannel
+	// Pooled extraction and conditioning buffers are reused across the
+	// channel scan; only the per-chip means survive the loop.
+	raw := dsp.GetSlice(s.Len())
+	defer func() { dsp.PutSlice(raw) }()
+	cond := dsp.GetSlice(hi - lo)
+	defer dsp.PutSlice(cond)
+	channels := make([]chipChannel, 0, s.Antennas()*s.Subchannels())
 	for a := 0; a < s.Antennas(); a++ {
 		for k := 0; k < s.Subchannels(); k++ {
-			raw, err := s.CSIChannel(a, k)
+			var err error
+			raw, err = s.CSIChannelInto(raw, a, k)
 			if err != nil {
 				return nil, err
 			}
-			cond := dsp.ConditionTwoPass(raw[lo:hi], windowSamples(ts, d.cfg.windowFor(nChips)))
+			dsp.ConditionTwoPassInto(cond, raw[lo:hi], windowSamples(ts, d.cfg.windowFor(nChips)))
 			means, ok := binMeans(cond, bins)
 			channels = append(channels, chipChannel{id: ChannelID{a, k}, means: means, ok: ok})
 		}
@@ -99,6 +109,9 @@ func (d *Decoder) DecodeLongRange(s *csi.Series, start float64, payloadLen int, 
 			c0 := math.Abs(corr(ch, b, code0))
 			ch.score += math.Abs(c1 - c0)
 		}
+	}
+	if len(channels) == 0 {
+		return nil, fmt.Errorf("uplink: series has no CSI channels")
 	}
 	sort.Slice(channels, func(i, j int) bool { return channels[i].score > channels[j].score })
 	g := d.cfg.GoodSubchannels
