@@ -1,12 +1,12 @@
 # Development gate for this repository. `make check` is the tier-1+ gate a
-# change must pass before merging: vet, build, the full test suite under
-# the race detector (which also exercises the serial-vs-parallel
-# equivalence properties), and a short fuzz smoke over the decoder and
-# message-framing fuzz targets.
+# change must pass before merging: vet, build, the project's own static
+# analyzers (wblint), the full test suite under the race detector (which
+# also exercises the serial-vs-parallel equivalence properties), and a
+# short fuzz smoke over the decoder and message-framing fuzz targets.
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench check
+.PHONY: all build vet test lint race fuzz bench check
 
 all: check
 
@@ -18,6 +18,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Project-specific static analysis (determinism, pool hygiene, float
+# comparisons, unit discipline). `wblint -json ./...` emits the findings
+# machine-readably; see README "Static gates" for the codes.
+lint:
+	$(GO) run ./cmd/wblint ./...
 
 race:
 	$(GO) test -race ./...
@@ -33,4 +39,4 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem
 
-check: vet build race fuzz
+check: vet build lint race fuzz

@@ -42,8 +42,17 @@ func main() {
 	}
 	filter := map[string]bool{}
 	if *only != "" {
+		known := map[string]bool{}
+		for _, e := range suite.Experiments() {
+			known[e.ID] = true
+		}
 		for _, id := range strings.Split(*only, ",") {
-			filter[strings.TrimSpace(id)] = true
+			id = strings.TrimSpace(id)
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "wbbench: unknown experiment id %q (run wbbench -list for the catalog)\n", id)
+				os.Exit(1)
+			}
+			filter[id] = true
 		}
 	}
 	if *compare {

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -18,52 +19,79 @@ import (
 	"repro/internal/wifi"
 )
 
+// options carries the parsed command line.
+type options struct {
+	tagDist    float64 // cm
+	helperDist float64 // m
+	rate       uint
+	helperRate float64
+	data       uint64
+	seed       int64
+}
+
 func main() {
-	tagDist := flag.Float64("tag-dist", 20, "tag to reader distance in cm")
-	helperDist := flag.Float64("helper-dist", 3, "helper to tag distance in m")
-	rate := flag.Uint("rate", 100, "uplink bit rate in bps advised to the tag")
-	helperRate := flag.Float64("helper-rate", 1000, "helper traffic in packets/s")
-	data := flag.Uint64("data", 0xBEEF00C0FFEE, "48-bit tag payload to report")
-	seed := flag.Int64("seed", 1, "random seed")
+	opts := options{}
+	flag.Float64Var(&opts.tagDist, "tag-dist", 20, "tag to reader distance in cm")
+	flag.Float64Var(&opts.helperDist, "helper-dist", 3, "helper to tag distance in m")
+	flag.UintVar(&opts.rate, "rate", 100, "uplink bit rate in bps advised to the tag")
+	flag.Float64Var(&opts.helperRate, "helper-rate", 1000, "helper traffic in packets/s")
+	flag.Uint64Var(&opts.data, "data", 0xBEEF00C0FFEE, "48-bit tag payload to report")
+	flag.Int64Var(&opts.seed, "seed", 1, "random seed")
 	flag.Parse()
 
-	sys, err := core.NewSystem(core.Config{
-		Seed:              *seed,
-		TagReaderDistance: units.Centimeters(*tagDist),
-		HelperTagDistance: units.Meters(*helperDist),
-	})
-	if err != nil {
+	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "wbsim:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("deployment: tag %.0f cm from reader, helper %.1f m away, %.0f pkt/s\n",
-		*tagDist, *helperDist, *helperRate)
-	fmt.Printf("uplink modulation depth: %.1f%%\n", 100*sys.ModulationDepth())
+}
+
+func run(out io.Writer, opts options) error {
+	if opts.tagDist <= 0 {
+		return fmt.Errorf("-tag-dist must be positive (got %g)", opts.tagDist)
+	}
+	if opts.helperDist <= 0 {
+		return fmt.Errorf("-helper-dist must be positive (got %g)", opts.helperDist)
+	}
+	if opts.rate == 0 || opts.rate > 65535 {
+		return fmt.Errorf("-rate must be in 1..65535 bps (got %d)", opts.rate)
+	}
+	if opts.helperRate <= 0 {
+		return fmt.Errorf("-helper-rate must be positive (got %g)", opts.helperRate)
+	}
+	sys, err := core.NewSystem(core.Config{
+		Seed:              opts.seed,
+		TagReaderDistance: units.Centimeters(opts.tagDist),
+		HelperTagDistance: units.Meters(opts.helperDist),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "deployment: tag %.0f cm from reader, helper %.1f m away, %.0f pkt/s\n",
+		opts.tagDist, opts.helperDist, opts.helperRate)
+	fmt.Fprintf(out, "uplink modulation depth: %.1f%%\n", 100*sys.ModulationDepth())
 
 	(&wifi.CBRSource{
-		Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 1 / *helperRate,
+		Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 1 / opts.helperRate,
 	}).Start()
 	sys.Run(0.3) // warm up traffic
 
-	q := reader.Query{Command: reader.CmdRead, TagID: 0x0042, BitRate: uint16(*rate)}
-	res, err := sys.RunQuery(q, *data, core.DefaultTransactionConfig())
+	q := reader.Query{Command: reader.CmdRead, TagID: 0x0042, BitRate: uint16(opts.rate)}
+	res, err := sys.RunQuery(q, opts.data, core.DefaultTransactionConfig())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wbsim:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("query: cmd=%d tag=%#04x rate=%d bps\n", q.Command, q.TagID, q.BitRate)
-	fmt.Printf("attempts: %d\n", res.Attempts)
-	fmt.Printf("downlink (reader→tag): decoded=%v heard=%+v\n", res.TagDecoded, res.TagHeard)
-	fmt.Printf("uplink (tag→reader):  ok=%v correlation=%.2f\n", res.ResponseOK, res.ResponseCorrelation)
-	if res.ResponseOK {
-		fmt.Printf("tag reported: %#012x\n", res.ResponseData)
-		if res.ResponseData != *data&((1<<48)-1) {
-			fmt.Println("WARNING: payload mismatch")
-			os.Exit(1)
-		}
-		fmt.Println("round trip complete: payload verified")
-		return
+	fmt.Fprintf(out, "query: cmd=%d tag=%#04x rate=%d bps\n", q.Command, q.TagID, q.BitRate)
+	fmt.Fprintf(out, "attempts: %d\n", res.Attempts)
+	fmt.Fprintf(out, "downlink (reader→tag): decoded=%v heard=%+v\n", res.TagDecoded, res.TagHeard)
+	fmt.Fprintf(out, "uplink (tag→reader):  ok=%v correlation=%.2f\n", res.ResponseOK, res.ResponseCorrelation)
+	if !res.ResponseOK {
+		return fmt.Errorf("transaction failed: no decodable response")
 	}
-	fmt.Println("transaction failed: no decodable response")
-	os.Exit(1)
+	fmt.Fprintf(out, "tag reported: %#012x\n", res.ResponseData)
+	if res.ResponseData != opts.data&((1<<48)-1) {
+		return fmt.Errorf("payload mismatch: reported %#012x, sent %#012x",
+			res.ResponseData, opts.data&((1<<48)-1))
+	}
+	fmt.Fprintln(out, "round trip complete: payload verified")
+	return nil
 }

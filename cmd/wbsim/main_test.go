@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// goodOpts is a deployment known to complete a transaction (the command's
+// defaults).
+func goodOpts() options {
+	return options{
+		tagDist:    20,
+		helperDist: 3,
+		rate:       100,
+		helperRate: 1000,
+		data:       0xBEEF00C0FFEE,
+		seed:       1,
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*options)
+	}{
+		{"zero rate", func(o *options) { o.rate = 0 }},
+		{"rate overflows uint16", func(o *options) { o.rate = 70000 }},
+		{"zero helper rate", func(o *options) { o.helperRate = 0 }},
+		{"negative helper rate", func(o *options) { o.helperRate = -10 }},
+		{"zero tag distance", func(o *options) { o.tagDist = 0 }},
+		{"negative helper distance", func(o *options) { o.helperDist = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := goodOpts()
+			tc.mutate(&opts)
+			var out bytes.Buffer
+			if err := run(&out, opts); err == nil {
+				t.Fatalf("run(%+v) succeeded, want error", opts)
+			}
+			if out.Len() != 0 {
+				t.Errorf("rejected run still wrote %d bytes of output", out.Len())
+			}
+		})
+	}
+}
+
+func TestRunCompletesTransaction(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, goodOpts()); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"uplink modulation depth:",
+		"tag reported: 0xbeef00c0ffee",
+		"round trip complete: payload verified",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

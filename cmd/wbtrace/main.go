@@ -13,7 +13,9 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 
 	"repro/internal/capture"
@@ -32,20 +34,20 @@ func main() {
 	flag.Parse()
 
 	if *summarize != "" {
-		if err := summarizeFile(*summarize); err != nil {
+		if err := summarizeFile(os.Stdout, *summarize); err != nil {
 			fmt.Fprintln(os.Stderr, "wbtrace:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*tagDist, *packets, *what, *seed); err != nil {
+	if err := run(os.Stdout, *tagDist, *packets, *what, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "wbtrace:", err)
 		os.Exit(1)
 	}
 }
 
 // summarizeFile prints a capture's statistics.
-func summarizeFile(path string) error {
+func summarizeFile(out io.Writer, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -56,17 +58,33 @@ func summarizeFile(path string) error {
 		return err
 	}
 	s := capture.Summarize(recs)
-	fmt.Printf("records:     %d (%d collided, %d lost)\n", s.Records, s.Collided, s.Lost)
-	fmt.Printf("bytes:       %d\n", s.Bytes)
-	fmt.Printf("span:        %.3f s, air time %.3f s (%.1f%% utilization)\n",
+	fmt.Fprintf(out, "records:     %d (%d collided, %d lost)\n", s.Records, s.Collided, s.Lost)
+	fmt.Fprintf(out, "bytes:       %d\n", s.Bytes)
+	fmt.Fprintf(out, "span:        %.3f s, air time %.3f s (%.1f%% utilization)\n",
 		s.LastEnd-s.FirstStart, s.AirTime, 100*s.Utilization())
-	for ft, n := range s.ByType {
-		fmt.Printf("  %-12s %d\n", ft.String()+":", n)
+	types := make([]wifi.FrameType, 0, len(s.ByType))
+	for ft := range s.ByType {
+		types = append(types, ft)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, ft := range types {
+		fmt.Fprintf(out, "  %-12s %d\n", ft.String()+":", s.ByType[ft])
 	}
 	return nil
 }
 
-func run(tagDist float64, packets int, what string, seed int64) error {
+func run(out io.Writer, tagDist float64, packets int, what string, seed int64) error {
+	if packets <= 0 {
+		return fmt.Errorf("-packets must be positive (got %d)", packets)
+	}
+	if tagDist <= 0 {
+		return fmt.Errorf("-tag-dist must be positive (got %g)", tagDist)
+	}
+	switch what {
+	case "csi", "rssi", "frames":
+	default:
+		return fmt.Errorf("unknown -what %q (use csi, rssi, or frames)", what)
+	}
 	sys, err := core.NewSystem(core.Config{
 		Seed:              seed,
 		TagReaderDistance: units.Centimeters(tagDist),
@@ -90,7 +108,7 @@ func run(tagDist float64, packets int, what string, seed int64) error {
 	s := sys.Series()
 
 	if what == "frames" {
-		cw := capture.NewWriter(os.Stdout)
+		cw := capture.NewWriter(out)
 		for i, tx := range sys.TxLog() {
 			if i >= packets {
 				break
@@ -104,7 +122,7 @@ func run(tagDist float64, packets int, what string, seed int64) error {
 		}
 		return cw.Flush()
 	}
-	w := csv.NewWriter(os.Stdout)
+	w := csv.NewWriter(out)
 	defer w.Flush()
 	switch what {
 	case "csi":
@@ -159,8 +177,6 @@ func run(tagDist float64, packets int, what string, seed int64) error {
 				return err
 			}
 		}
-	default:
-		return fmt.Errorf("unknown -what %q (use csi, rssi, or frames)", what)
 	}
 	return nil
 }

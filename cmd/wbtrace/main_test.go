@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/capture"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		tagDist float64
+		packets int
+		what    string
+	}{
+		{"zero packets", 5, 0, "csi"},
+		{"negative packets", 5, -3, "csi"},
+		{"zero distance", 0, 100, "csi"},
+		{"negative distance", -2, 100, "rssi"},
+		{"unknown what", 5, 100, "spectrogram"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(&out, tc.tagDist, tc.packets, tc.what, 1)
+			if err == nil {
+				t.Fatalf("run(%g, %d, %q) succeeded, want error", tc.tagDist, tc.packets, tc.what)
+			}
+			if out.Len() != 0 {
+				t.Errorf("rejected run still wrote %d bytes of output", out.Len())
+			}
+		})
+	}
+}
+
+func TestRunEmitsCSV(t *testing.T) {
+	for _, what := range []string{"csi", "rssi"} {
+		t.Run(what, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(&out, 5, 50, what, 1); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+			if len(lines) != 51 { // header + 50 rows
+				t.Fatalf("got %d lines, want 51", len(lines))
+			}
+			if !strings.HasPrefix(lines[0], "packet,timestamp,tag_state,"+what+"_a0") {
+				t.Errorf("unexpected header %q", lines[0])
+			}
+		})
+	}
+}
+
+func TestFramesRoundTripThroughSummarize(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 5, 50, "frames", 1); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := capture.NewReader(bytes.NewReader(out.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatalf("frames output did not parse back: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("frames output holds no records")
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.wbt")
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var summary bytes.Buffer
+	if err := summarizeFile(&summary, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary.String(), "records:") {
+		t.Errorf("summary missing record count:\n%s", summary.String())
+	}
+}
+
+func TestSummarizeFileErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := summarizeFile(&out, filepath.Join(t.TempDir(), "missing.wbt")); err == nil {
+		t.Error("missing file should error")
+	}
+	garbled := filepath.Join(t.TempDir(), "garbled.wbt")
+	if err := os.WriteFile(garbled, []byte("this is not a capture"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := summarizeFile(&out, garbled); err == nil {
+		t.Error("garbled capture should error")
+	}
+}

@@ -41,7 +41,7 @@ func main() {
 		Station: sys.Helper, Dst: wifi.MAC{0x02, 0, 0, 0, 0, 9},
 		Payload: 400, Rate: wifi.OfficeLoad(hour), Rnd: rng.New(11),
 	}).Start()
-	client := sys.AddStation("streaming-client", 16, 5)
+	client := sys.AddStation("streaming-client", units.DBm(16), units.Meters(5))
 	(&wifi.BurstySource{
 		Station: client, Dst: wifi.MAC{0x02, 0, 0, 0, 0, 1},
 		Payload: 600, MeanBurst: 15, MeanGap: 0.06, InBurstInterval: 0.0008,

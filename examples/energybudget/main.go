@@ -43,7 +43,7 @@ func main() {
 
 	// Harvesting: TV tower 12 km away.
 	h := tag.DefaultHarvester()
-	supply := h.TVHarvest(20_000)
+	supply := h.TVHarvest(units.Meters(20_000))
 	fmt.Printf("harvest income at 20 km from the TV tower: %.2f µW\n", float64(supply))
 
 	fw, err := firmware.New(firmware.Config{

@@ -37,7 +37,7 @@ func main() {
 	sys, err := core.NewSystem(core.Config{
 		Seed:              7,
 		TagReaderDistance: units.Centimeters(25),
-		HelperTagDistance: 4,
+		HelperTagDistance: units.Meters(4),
 	})
 	if err != nil {
 		log.Fatal(err)

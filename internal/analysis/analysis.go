@@ -1,0 +1,253 @@
+// Package analysis implements wblint, the project-specific static-analysis
+// suite for the Wi-Fi Backscatter reproduction. It is built entirely on the
+// standard library (go/ast, go/parser, go/types, go/token): the loader in
+// load.go parses and typechecks packages itself, so the suite runs offline
+// and adds no module dependencies.
+//
+// The suite exists because the reproduction's correctness claims rest on
+// invariants the Go type system cannot see:
+//
+//   - determinism: seeded trials must be bit-identical across runs and
+//     worker counts, so wall-clock time and unseeded randomness are banned
+//     from everything that feeds a result, and map iteration must never
+//     order user-visible output;
+//   - poolhygiene: scratch buffers from the internal/dsp sync.Pool must be
+//     returned on every control-flow path and never retained past the Put;
+//   - floatsafe: DSP decisions ride on conditioned float series, where ==
+//     on two computed values is almost always a latent bug;
+//   - unitcheck: power/gain/frequency/distance quantities must move through
+//     the internal/units API, not raw casts or bare literals.
+//
+// Each analyzer reports diagnostics with stable codes (DT001, PH002, ...).
+// A finding can be suppressed with an in-source directive that must carry a
+// written reason (see ignore.go); unexplained or unused directives are
+// themselves diagnostics.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named analysis pass over a typechecked package.
+type Analyzer struct {
+	// Name identifies the analyzer in output and documentation.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer protects.
+	Doc string
+	// Codes documents every diagnostic code the analyzer can emit.
+	Codes []CodeDoc
+	// Run inspects the package and reports diagnostics through the pass.
+	Run func(*Pass)
+}
+
+// CodeDoc documents one diagnostic code.
+type CodeDoc struct {
+	Code    string
+	Summary string
+}
+
+// Diagnostic is one finding, positioned in the source.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Code     string         `json:"code"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s (%s)",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Code, d.Message, d.Analyzer)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Config   *Config
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, code, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Code:     code,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Config parameterizes the suite for a module. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// ModulePath is the module being analyzed (used to resolve the
+	// internal/dsp, internal/units and internal/rng packages).
+	ModulePath string
+	// WallClockAllow lists functions allowed to read the wall clock for
+	// duration reporting, keyed "pkgpath.Func" or "pkgpath.Recv.Func".
+	// Nothing a seed or trial outcome derives from may appear here.
+	WallClockAllow map[string]bool
+	// RandAllow lists package paths allowed to import math/rand; everything
+	// else must draw from the seeded internal/rng streams.
+	RandAllow map[string]bool
+	// FloatScope lists package-path prefixes where floatsafe applies (the
+	// DSP/decoder/eval code operating on measurement series).
+	FloatScope []string
+}
+
+// DefaultConfig returns the repository's wblint policy.
+func DefaultConfig() *Config {
+	const mod = "repro"
+	return &Config{
+		ModulePath: mod,
+		WallClockAllow: map[string]bool{
+			// Duration reporting only: wbbench prints wall-clock speedups
+			// and eval.Suite.Run prints per-experiment progress timing.
+			// Seeds and trial outcomes never derive from these clocks.
+			mod + "/cmd/wbbench.runCompare": true,
+			mod + "/internal/eval.Suite.Run": true,
+		},
+		RandAllow: map[string]bool{
+			// internal/rng wraps math/rand behind seeded, splittable
+			// streams; it is the only sanctioned entry point.
+			mod + "/internal/rng": true,
+		},
+		FloatScope: []string{
+			mod + "/internal/dsp",
+			mod + "/internal/csi",
+			mod + "/internal/uplink",
+			mod + "/internal/downlink",
+			mod + "/internal/eval",
+			mod + "/internal/core",
+			mod + "/internal/sim",
+			mod + "/internal/tag",
+			mod + "/internal/wifi",
+			mod + "/internal/reader",
+			mod + "/internal/inventory",
+		},
+	}
+}
+
+// inFloatScope reports whether floatsafe applies to a package path.
+// Fixture packages (under a testdata directory) are always in scope so the
+// analyzers can be exercised by tests.
+func (c *Config) inFloatScope(pkgPath string) bool {
+	if strings.Contains(pkgPath, "/testdata/") {
+		return true
+	}
+	for _, p := range c.FloatScope {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		PoolHygieneAnalyzer,
+		FloatSafeAnalyzer,
+		UnitCheckAnalyzer,
+	}
+}
+
+// RunAnalyzers applies every analyzer in the list to pkg and returns the
+// raw (unsuppressed) diagnostics in source order.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Config:   cfg,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// Check loads and analyzes pkg directories, applies the suppression
+// directives, and returns the surviving diagnostics in source order. It is
+// the one-call entry point used by cmd/wblint and the repo-clean test.
+func Check(l *Loader, dirs []string, cfg *Config) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	analyzers := Analyzers()
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		raw := RunAnalyzers(pkg, analyzers, cfg)
+		diags = append(diags, ApplyIgnores(pkg, raw)...)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, then code, so
+// output is stable and -json runs can be diffed.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Code < b.Code
+	})
+}
+
+// funcKey names a function the way Config.WallClockAllow keys it:
+// "pkgpath.Func" for functions, "pkgpath.Recv.Func" for methods (pointer
+// receivers use the element type name).
+func funcKey(pkgPath string, decl *ast.FuncDecl) string {
+	if decl.Recv != nil && len(decl.Recv.List) == 1 {
+		t := decl.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return pkgPath + "." + id.Name + "." + decl.Name.Name
+		}
+	}
+	return pkgPath + "." + decl.Name.Name
+}
+
+// calleeFunc resolves the called function object of a call expression, or
+// nil when the callee is not a statically known *types.Func (interface
+// method values still resolve; dynamic calls of function variables do not).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// sharedLoader caches one loader (and its typechecked stdlib) across the
+// package's tests. Tests in this package do not run in parallel.
+var sharedLoader *Loader
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	if sharedLoader == nil {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			t.Fatalf("finding module root: %v", err)
+		}
+		l, err := NewLoader(root)
+		if err != nil {
+			t.Fatalf("creating loader: %v", err)
+		}
+		sharedLoader = l
+	}
+	return sharedLoader
+}
+
+// loadFixture typechecks one testdata fixture package.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	l := testLoader(t)
+	pkg, err := l.LoadDir(filepath.Join(l.ModuleDir(), "internal/analysis/testdata", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+var wantRE = regexp.MustCompile(`"([^"]*)"`)
+
+// fixtureWants parses `// want "..." ["..."]...` comments, returning the
+// expected diagnostic substrings keyed by file:line.
+func fixtureWants(pkg *Package) map[string][]string {
+	wants := map[string][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, rest, ok := strings.Cut(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+					wants[key] = append(wants[key], m[1])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs analyzers over a fixture and matches diagnostics
+// against its want comments: every want must be produced, and every
+// diagnostic must be wanted.
+func checkFixture(t *testing.T, fixture string, analyzers []*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, fixture)
+	diags := RunAnalyzers(pkg, analyzers, DefaultConfig())
+	wants := fixtureWants(pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", fixture)
+	}
+	matched := map[string][]bool{}
+	for key, list := range wants {
+		matched[key] = make([]bool, len(list))
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for i, w := range wants[key] {
+			if matched[key][i] {
+				continue
+			}
+			if strings.Contains(d.Code+" "+d.Message, w) {
+				matched[key][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %v", d)
+		}
+	}
+	for key, list := range wants {
+		for i, w := range list {
+			if !matched[key][i] {
+				t.Errorf("%s: want %q not reported", key, w)
+			}
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	checkFixture(t, "determinism", []*Analyzer{DeterminismAnalyzer})
+}
+
+func TestPoolHygieneFixture(t *testing.T) {
+	checkFixture(t, "poolhygiene", []*Analyzer{PoolHygieneAnalyzer})
+}
+
+func TestFloatSafeFixture(t *testing.T) {
+	checkFixture(t, "floatsafe", []*Analyzer{FloatSafeAnalyzer})
+}
+
+func TestUnitCheckFixture(t *testing.T) {
+	checkFixture(t, "unitcheck", []*Analyzer{UnitCheckAnalyzer})
+}
+
+// TestAnalyzerDisabledWouldFail pins the property the acceptance criteria
+// names: each fixture contains at least one finding, so disabling its
+// analyzer (running none) leaves want comments unmatched and the fixture
+// test red.
+func TestAnalyzerDisabledWouldFail(t *testing.T) {
+	for _, fixture := range []string{"determinism", "poolhygiene", "floatsafe", "unitcheck"} {
+		pkg := loadFixture(t, fixture)
+		if n := len(fixtureWants(pkg)); n == 0 {
+			t.Errorf("fixture %s has no want comments; a disabled analyzer would go unnoticed", fixture)
+		}
+		if diags := RunAnalyzers(pkg, nil, DefaultConfig()); len(diags) != 0 {
+			t.Errorf("fixture %s: no analyzers should mean no diagnostics", fixture)
+		}
+	}
+}
+
+// TestIgnoreDirectives exercises suppression end to end on the ignore
+// fixture: explained directives suppress, bare ones earn IG001 without
+// suppressing, stale ones earn IG002, and file-ignore covers a whole file.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg := loadFixture(t, "ignore")
+	diags := ApplyIgnores(pkg, RunAnalyzers(pkg, []*Analyzer{DeterminismAnalyzer}, DefaultConfig()))
+
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Code+" "+filepath.Base(d.Pos.Filename)]++
+	}
+	want := map[string]int{
+		"IG001 ignore.go": 1, // bare directive
+		"DT001 ignore.go": 1, // the finding the bare directive failed to suppress
+		"IG002 ignore.go": 1, // stale directive
+	}
+	if len(counts) != len(want) {
+		t.Errorf("diagnostics after suppression: got %v, want %v", counts, want)
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("diagnostics %s: got %d, want %d (all: %v)", k, counts[k], n, counts)
+		}
+	}
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) == "ignore_file.go" {
+			t.Errorf("file-ignore failed to cover %v", d)
+		}
+	}
+}
+
+// TestSuppressionRange pins the directive's reach: its own line and the
+// line below, not further.
+func TestSuppressionRange(t *testing.T) {
+	pkg := loadFixture(t, "ignore")
+	raw := RunAnalyzers(pkg, []*Analyzer{DeterminismAnalyzer}, DefaultConfig())
+	// The fixture's suppressed() function places the directive on the line
+	// above its time.Now: that finding must be absent after filtering.
+	var suppressedLine int
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "documented exception with a written reason") {
+					suppressedLine = pkg.Fset.Position(c.Pos()).Line
+				}
+			}
+		}
+	}
+	if suppressedLine == 0 {
+		t.Fatal("fixture directive not found")
+	}
+	for _, d := range ApplyIgnores(pkg, raw) {
+		if d.Code == "DT001" && d.Pos.Line == suppressedLine+1 {
+			t.Errorf("directive on line %d failed to suppress %v", suppressedLine, d)
+		}
+	}
+}
+
+// TestDiagnosticOrder pins the stable sort the -json contract relies on.
+func TestDiagnosticOrder(t *testing.T) {
+	pkg := loadFixture(t, "determinism")
+	diags := RunAnalyzers(pkg, Analyzers(), DefaultConfig())
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Errorf("diagnostics out of order: %v before %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterminismAnalyzer enforces the reproduction's bit-identical-replay
+// guarantee (PAPER.md §7, PR 1's serial-vs-parallel equivalence): every
+// stochastic draw comes from a seeded internal/rng stream, no seed or
+// trial outcome derives from the wall clock, and no user-visible output is
+// ordered by a map walk.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, unseeded math/rand, and map-ordered output in result-bearing code",
+	Codes: []CodeDoc{
+		{"DT001", "wall-clock read (time.Now/Since/Until) outside the duration-reporting allowlist"},
+		{"DT002", "math/rand imported outside internal/rng; use seeded internal/rng streams"},
+		{"DT003", "map iteration feeds output; iterate a sorted key slice instead"},
+	},
+	Run: runDeterminism,
+}
+
+// wallClockFuncs are the time package entry points that read the clock.
+var wallClockFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+func runDeterminism(p *Pass) {
+	pkgPath := p.Pkg.Path()
+	for _, file := range p.Files {
+		// DT002: the import line itself is the violation — once math/rand
+		// is in scope nothing distinguishes seeded from unseeded use.
+		if !p.Config.RandAllow[pkgPath] {
+			for _, imp := range file.Imports {
+				switch strings.Trim(imp.Path.Value, `"`) {
+				case "math/rand", "math/rand/v2":
+					p.Reportf(imp.Pos(), "DT002",
+						"math/rand is unseeded or globally seeded; draw from a seeded internal/rng stream")
+				}
+			}
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				p.checkFuncDeterminism(pkgPath, fn)
+				continue
+			}
+			// Package-level initializers never get a wall-clock pass.
+			ast.Inspect(decl, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					p.checkWallClock(call, false)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkFuncDeterminism walks one function body for DT001 and DT003.
+func (p *Pass) checkFuncDeterminism(pkgPath string, fn *ast.FuncDecl) {
+	allowed := p.Config.WallClockAllow[funcKey(pkgPath, fn)]
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			p.checkWallClock(n, allowed)
+		case *ast.RangeStmt:
+			p.checkMapRangeOutput(n)
+		}
+		return true
+	})
+}
+
+// checkWallClock reports DT001 for clock reads unless the enclosing
+// function is allowlisted for duration reporting.
+func (p *Pass) checkWallClock(call *ast.CallExpr, allowed bool) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || !wallClockFuncs[fn.FullName()] {
+		return
+	}
+	if allowed {
+		return
+	}
+	p.Reportf(call.Pos(), "DT001",
+		"%s reads the wall clock; trial outcomes must derive only from seeds (allowlist duration reporting in wblint's config)",
+		fn.FullName())
+}
+
+// outputMethodNames are methods whose call inside a map-range body means
+// the map's nondeterministic order reaches an output stream or table.
+var outputMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"AddRow": true, "Fprint": true,
+}
+
+// checkMapRangeOutput reports DT003 when a range over a map emits output
+// inside the loop body.
+func (p *Pass) checkMapRangeOutput(rng *ast.RangeStmt) {
+	tv, ok := p.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	reported := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || reported {
+			return !reported
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil {
+			return true
+		}
+		full := fn.FullName()
+		isPrint := strings.HasPrefix(full, "fmt.Print") || strings.HasPrefix(full, "fmt.Fprint")
+		isOutputMethod := fn.Type().(*types.Signature).Recv() != nil && outputMethodNames[fn.Name()]
+		if isPrint || isOutputMethod {
+			reported = true
+			p.Reportf(rng.Pos(), "DT003",
+				"map iteration order is random and this loop emits output (%s); iterate sorted keys instead",
+				fn.Name())
+			return false
+		}
+		return true
+	})
+}

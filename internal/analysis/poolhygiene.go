@@ -1,0 +1,378 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolHygieneAnalyzer polices the internal/dsp scratch-buffer pool that the
+// decode hot path depends on (EXPERIMENTS.md: ~48x fewer bytes/op). A
+// buffer obtained with dsp.GetSlice must go back with dsp.PutSlice on every
+// control-flow path, and must not be retained, aliased, or used after the
+// Put — a leaked buffer silently forfeits the reuse, while a retained one
+// is a data race waiting for the next pool hit.
+//
+// The analysis is intraprocedural and lexical: ownership that deliberately
+// crosses a function boundary (the channelStats batch-release pattern in
+// internal/uplink) is a real design decision and must be annotated with a
+// //wblint:ignore PH003 directive explaining who releases the buffer.
+var PoolHygieneAnalyzer = &Analyzer{
+	Name: "poolhygiene",
+	Doc:  "every dsp.GetSlice buffer is released on all paths and never retained past the Put",
+	Codes: []CodeDoc{
+		{"PH001", "pooled buffer not released on some path (missing, non-deferred, or overwritten Put)"},
+		{"PH002", "pooled buffer used after PutSlice returned it"},
+		{"PH003", "pooled buffer escapes the function (returned, stored, aliased, or sent)"},
+	},
+	Run: runPoolHygiene,
+}
+
+func runPoolHygiene(p *Pass) {
+	getName := p.Config.ModulePath + "/internal/dsp.GetSlice"
+	putName := p.Config.ModulePath + "/internal/dsp.PutSlice"
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			(&poolCheck{pass: p, get: getName, put: putName}).checkFunc(fn)
+		}
+	}
+}
+
+// poolCheck carries the per-function state of the pool-hygiene analysis.
+type poolCheck struct {
+	pass     *Pass
+	get, put string
+	parents  map[ast.Node]ast.Node
+}
+
+// trackedBuf is one pool-owned variable inside a function.
+type trackedBuf struct {
+	obj     *types.Var
+	getPos  token.Pos
+	escape  token.Pos // first escape site, if any
+	escapeWhat string
+	puts    []putSite
+	uses    []useSite
+	dropped token.Pos // overwritten without release
+}
+
+type putSite struct {
+	pos      token.Pos
+	end      token.Pos
+	deferred bool
+}
+
+type useSite struct {
+	pos token.Pos
+}
+
+func (c *poolCheck) checkFunc(fn *ast.FuncDecl) {
+	c.parents = map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			c.parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	// Pass 1: find GetSlice calls and bind them to variables.
+	bufs := map[*types.Var]*trackedBuf{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !c.isCallTo(call, c.get) {
+			return true
+		}
+		if v := c.boundVar(call); v != nil {
+			if b, seen := bufs[v]; seen {
+				// A second Get into the same variable: keep the first pos;
+				// release rules apply to the variable as a whole.
+				_ = b
+			} else {
+				bufs[v] = &trackedBuf{obj: v, getPos: call.Pos()}
+			}
+			return true
+		}
+		// Result not captured: it can never be released. A direct return
+		// hands ownership out of the function instead.
+		if _, isRet := c.parents[call].(*ast.ReturnStmt); isRet {
+			c.pass.Reportf(call.Pos(), "PH003",
+				"pooled buffer is returned; the caller cannot know it must PutSlice it")
+		} else {
+			c.pass.Reportf(call.Pos(), "PH001",
+				"GetSlice result is not captured in a variable, so it can never be released")
+		}
+		return true
+	})
+	if len(bufs) == 0 {
+		return
+	}
+
+	deferredPuts := c.deferredPutCalls(fn.Body)
+
+	// Pass 2: classify every use of each tracked variable.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, _ := c.pass.Info.Uses[id].(*types.Var)
+		if obj == nil {
+			if def, okd := c.pass.Info.Defs[id].(*types.Var); okd {
+				obj = def
+			}
+		}
+		b := bufs[obj]
+		if b == nil {
+			return true
+		}
+		c.classifyUse(b, id, deferredPuts)
+		return true
+	})
+
+	// Pass 3: returns that can leak a non-deferred Put (returns inside
+	// nested function literals exit the literal, not this function).
+	var returns []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, ret.Pos())
+		}
+		return true
+	})
+
+	for _, b := range bufs {
+		c.reportBuf(b, returns)
+	}
+}
+
+// boundVar returns the variable a GetSlice call is assigned to, or nil.
+func (c *poolCheck) boundVar(call *ast.CallExpr) *types.Var {
+	switch parent := c.parents[call].(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range parent.Rhs {
+			if ast.Unparen(rhs) == call && i < len(parent.Lhs) {
+				if id, ok := parent.Lhs[i].(*ast.Ident); ok {
+					if v, ok := c.objOf(id).(*types.Var); ok {
+						return v
+					}
+				}
+			}
+		}
+	case *ast.ValueSpec:
+		for i, rhs := range parent.Values {
+			if ast.Unparen(rhs) == call && i < len(parent.Names) {
+				if v, ok := c.objOf(parent.Names[i]).(*types.Var); ok {
+					return v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (c *poolCheck) objOf(id *ast.Ident) types.Object {
+	if o := c.pass.Info.Defs[id]; o != nil {
+		return o
+	}
+	return c.pass.Info.Uses[id]
+}
+
+// isCallTo reports whether call statically invokes the named function.
+func (c *poolCheck) isCallTo(call *ast.CallExpr, full string) bool {
+	fn := calleeFunc(c.pass.Info, call)
+	return fn != nil && fn.FullName() == full
+}
+
+// deferredPutCalls collects PutSlice calls that run via defer — either
+// `defer dsp.PutSlice(x)` or a PutSlice anywhere inside a deferred
+// function literal.
+func (c *poolCheck) deferredPutCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if c.isCallTo(def.Call, c.put) {
+			out[def.Call] = true
+		}
+		if lit, ok := ast.Unparen(def.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && c.isCallTo(call, c.put) {
+					out[call] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// classifyUse folds one identifier occurrence into the buffer's state:
+// a release, an escape, a reassignment, or a plain use.
+func (c *poolCheck) classifyUse(b *trackedBuf, id *ast.Ident, deferredPuts map[*ast.CallExpr]bool) {
+	parent := c.parents[id]
+	switch parent := parent.(type) {
+	case *ast.CallExpr:
+		if c.isCallTo(parent, c.put) && len(parent.Args) == 1 && ast.Unparen(parent.Args[0]) == id {
+			b.puts = append(b.puts, putSite{
+				pos:      parent.Pos(),
+				end:      parent.End(),
+				deferred: deferredPuts[parent],
+			})
+			return
+		}
+		// Passing the buffer as an argument is the sanctioned way to share
+		// it (the callee must not retain it — a convention, not checkable
+		// here). Into-style callees may return the same buffer.
+		b.uses = append(b.uses, useSite{pos: id.Pos()})
+	case *ast.AssignStmt:
+		if c.identInExprs(id, parent.Lhs) {
+			// x = ... : reassignment. Fine when x round-trips through the
+			// RHS (the Into pattern `x, err = f(x)` or a fresh Get);
+			// otherwise the pooled buffer is dropped unreleased.
+			if parent.Tok == token.DEFINE {
+				return // the defining occurrence
+			}
+			if !c.rhsMentions(parent, b.obj) && !c.rhsIsGet(parent) {
+				if !b.dropped.IsValid() {
+					b.dropped = id.Pos()
+				}
+			}
+			return
+		}
+		// x on the RHS of an assignment: aliasing or storing.
+		for i, rhs := range parent.Rhs {
+			if ast.Unparen(rhs) != id {
+				continue
+			}
+			what := "aliased"
+			if len(parent.Lhs) == len(parent.Rhs) {
+				if lid, ok := parent.Lhs[i].(*ast.Ident); ok && c.objOf(lid) == types.Object(b.obj) {
+					return // self-assignment
+				}
+				if _, ok := parent.Lhs[i].(*ast.Ident); !ok {
+					what = "stored outside the function's locals"
+				}
+			}
+			c.recordEscape(b, id.Pos(), what)
+			return
+		}
+		b.uses = append(b.uses, useSite{pos: id.Pos()})
+	case *ast.ReturnStmt:
+		c.recordEscape(b, id.Pos(), "returned")
+	case *ast.KeyValueExpr:
+		if parent.Value == id {
+			c.recordEscape(b, id.Pos(), "stored in a composite literal")
+		}
+	case *ast.CompositeLit:
+		c.recordEscape(b, id.Pos(), "stored in a composite literal")
+	case *ast.SendStmt:
+		if parent.Value == id {
+			c.recordEscape(b, id.Pos(), "sent on a channel")
+		}
+	default:
+		b.uses = append(b.uses, useSite{pos: id.Pos()})
+	}
+}
+
+func (c *poolCheck) identInExprs(id *ast.Ident, exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		if ast.Unparen(e) == id {
+			return true
+		}
+	}
+	return false
+}
+
+// rhsMentions reports whether the assignment's RHS uses the variable
+// (covering the `x, err = f(x, ...)` Into round-trip).
+func (c *poolCheck) rhsMentions(assign *ast.AssignStmt, v *types.Var) bool {
+	found := false
+	for _, rhs := range assign.Rhs {
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && c.pass.Info.Uses[id] == types.Object(v) {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// rhsIsGet reports whether the assignment installs a fresh pooled buffer.
+func (c *poolCheck) rhsIsGet(assign *ast.AssignStmt) bool {
+	for _, rhs := range assign.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && c.isCallTo(call, c.get) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *poolCheck) recordEscape(b *trackedBuf, pos token.Pos, what string) {
+	if !b.escape.IsValid() {
+		b.escape, b.escapeWhat = pos, what
+	}
+}
+
+// reportBuf emits the diagnostics for one tracked buffer.
+func (c *poolCheck) reportBuf(b *trackedBuf, returns []token.Pos) {
+	name := b.obj.Name()
+	if b.escape.IsValid() {
+		c.pass.Reportf(b.escape, "PH003",
+			"pooled buffer %s is %s; ownership past the function must be annotated with who releases it",
+			name, b.escapeWhat)
+		return
+	}
+	if b.dropped.IsValid() {
+		c.pass.Reportf(b.dropped, "PH001",
+			"pooled buffer %s is overwritten before PutSlice; release it first", name)
+	}
+	if len(b.puts) == 0 {
+		if !b.dropped.IsValid() {
+			c.pass.Reportf(b.getPos, "PH001",
+				"pooled buffer %s is taken from the pool but never released with PutSlice", name)
+		}
+		return
+	}
+	allDeferred := true
+	var lastPlain putSite
+	for _, put := range b.puts {
+		if !put.deferred {
+			allDeferred = false
+			if put.end > lastPlain.end {
+				lastPlain = put
+			}
+		}
+	}
+	if !allDeferred {
+		// PH001: a return between the Get and the last plain Put skips it.
+		for _, ret := range returns {
+			if ret > b.getPos && ret < lastPlain.pos {
+				c.pass.Reportf(ret, "PH001",
+					"return path skips PutSlice(%s); release the buffer with defer", name)
+			}
+		}
+		// PH002: any reference after the buffer went back to the pool.
+		for _, use := range b.uses {
+			if use.pos > lastPlain.end {
+				c.pass.Reportf(use.pos, "PH002",
+					"%s is used after PutSlice returned it to the pool", name)
+			}
+		}
+	}
+}

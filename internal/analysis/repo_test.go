@@ -1,0 +1,27 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestRepoClean asserts the real repository carries zero unsuppressed wblint
+// findings — the same gate `make check` enforces via cmd/wblint. A new
+// violation anywhere in the tree turns this test red with the exact
+// diagnostic.
+func TestRepoClean(t *testing.T) {
+	l := testLoader(t)
+	dirs, err := WalkPackages(l.ModuleDir())
+	if err != nil {
+		t.Fatalf("walking packages: %v", err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("suspiciously few packages found (%d): %v", len(dirs), dirs)
+	}
+	diags, err := Check(l, dirs, DefaultConfig())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo not clean: %v", d)
+	}
+}

@@ -1,0 +1,47 @@
+// Package determinism is a wblint fixture: every line carrying a want
+// comment must produce the named diagnostic, and lines without one must
+// stay clean.
+package determinism
+
+import (
+	"fmt"
+	"math/rand" // want "DT002"
+	"sort"
+	"time"
+)
+
+// wallClock reads the clock outside the allowlist.
+func wallClock() float64 {
+	t0 := time.Now()          // want "DT001"
+	d := time.Since(t0)       // want "DT001"
+	return d.Seconds() + rand.Float64()
+}
+
+// mapOrderedOutput prints in map order.
+func mapOrderedOutput(counts map[string]int) {
+	for k, v := range counts { // want "DT003"
+		fmt.Println(k, v)
+	}
+}
+
+// sortedOutput iterates sorted keys: clean.
+func sortedOutput(counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, counts[k])
+	}
+}
+
+// mapAccumulate ranges a map without emitting output: clean (the sum is
+// order-independent).
+func mapAccumulate(counts map[string]int) int {
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,43 @@
+// Package floatsafe is a wblint fixture for float-comparison rules.
+package floatsafe
+
+// computedEquality compares two accumulated values exactly.
+func computedEquality(xs []float64) bool {
+	var a, b float64
+	for _, x := range xs {
+		a += x
+		b += x * 1.0000001
+	}
+	return a == b // want "FS001"
+}
+
+func notEqual(a, b float64) bool {
+	return a != b // want "FS001"
+}
+
+// constantComparison tests against a nonzero magic value.
+func constantComparison(x float64) bool {
+	return x == 1.5 // want "FS002"
+}
+
+// zeroGuard is the sanctioned exact comparison: a division guard against
+// the exact zero that degenerate input produces.
+func zeroGuard(scale float64, xs []float64) []float64 {
+	if scale == 0 {
+		return nil
+	}
+	for i := range xs {
+		xs[i] /= scale
+	}
+	return xs
+}
+
+// intEquality is not a float comparison: clean.
+func intEquality(a, b int) bool {
+	return a == b
+}
+
+// ordering comparisons are fine: clean.
+func ordering(a, b float64) bool {
+	return a < b || a >= b
+}

@@ -1,0 +1,26 @@
+// Package ignore is a wblint fixture for the suppression directives. The
+// expectations live in TestIgnoreDirectives (not want comments, because the
+// directives under test are themselves comments).
+package ignore
+
+import "time"
+
+// suppressed carries a correctly explained directive: the DT001 must not
+// surface.
+func suppressed() time.Time {
+	//wblint:ignore DT001 fixture: documented exception with a written reason
+	return time.Now()
+}
+
+// missingReason has a bare directive: it suppresses nothing and earns an
+// IG001, so both the IG001 and the underlying DT001 must surface.
+func missingReason() time.Time {
+	//wblint:ignore DT001
+	return time.Now()
+}
+
+// unused has a directive that matches no finding: IG002.
+func unused() int {
+	//wblint:ignore DT003 fixture: stale directive kept to exercise IG002
+	return 1
+}

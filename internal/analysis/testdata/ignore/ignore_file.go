@@ -1,0 +1,10 @@
+// File-wide suppression fixture: every DT001 in this file is exempt.
+//wblint:file-ignore DT001 fixture: whole file is duration-reporting scaffolding
+
+package ignore
+
+import "time"
+
+func fileWideOne() time.Time { return time.Now() }
+
+func fileWideTwo() time.Time { return time.Now() }

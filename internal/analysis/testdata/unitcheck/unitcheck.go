@@ -1,0 +1,60 @@
+// Package unitcheck is a wblint fixture for the units-discipline rules.
+package unitcheck
+
+import "repro/internal/units"
+
+// castGainToPower reinterprets a dB gain as an absolute dBm power.
+func castGainToPower(g units.DB) units.DBm {
+	return units.DBm(g) // want "UC001"
+}
+
+// addPowers adds two absolute log powers.
+func addPowers(p, q units.DBm) units.DBm {
+	return p + q // want "UC002"
+}
+
+// diffPowers should use Sub, which yields a gain.
+func diffPowers(p, q units.DBm) float64 {
+	return float64(p - q) // want "UC002"
+}
+
+// link takes unit-typed parameters.
+func link(d units.Meters, p units.DBm) float64 {
+	return float64(d) * float64(p)
+}
+
+// bareArgs passes naked numbers where units are expected.
+func bareArgs() float64 {
+	return link(5, -30) // want "UC003" "UC003"
+}
+
+// bareVar declares a unit-typed variable from a naked literal.
+func bareVar() units.Meters {
+	var d units.Meters = 5 // want "UC003"
+	d = 7                  // want "UC003"
+	return d
+}
+
+// config has unit-typed fields.
+type config struct {
+	Distance units.Meters
+	Power    units.DBm
+}
+
+// bareField fills a unit-typed field with a naked literal.
+func bareField() config {
+	return config{Distance: 3, Power: units.DBm(16)} // want "UC003"
+}
+
+// explicit is the clean spelling everywhere.
+func explicit() float64 {
+	d := units.Centimeters(25)
+	p := units.DBm(16).Add(units.DB(-3))
+	q := p.Milliwatts().DBm()
+	return link(d, q) + link(units.Meters(1), units.DBm(-30))
+}
+
+// properConvert goes through the units API: clean.
+func properConvert(p units.DBm) units.Milliwatt {
+	return p.Milliwatts()
+}

@@ -64,13 +64,13 @@ func (c Config) withDefaults() Config {
 		c.TagReaderDistance = units.Centimeters(5)
 	}
 	if c.HelperTagDistance == 0 {
-		c.HelperTagDistance = 3
+		c.HelperTagDistance = units.Meters(3)
 	}
 	if c.ReaderPower == 0 {
-		c.ReaderPower = 16
+		c.ReaderPower = units.DBm(16)
 	}
 	if c.HelperPower == 0 {
-		c.HelperPower = 16
+		c.HelperPower = units.DBm(16)
 	}
 	return c
 }

@@ -136,14 +136,14 @@ func ThresholdAblation(bitsPerPoint int, seed int64, workers int) (*Table, error
 	}
 	// Calibrate the fixed threshold to roughly half the steady envelope
 	// at 1 m.
-	cal := 0.5 * tag.ReceivedEnvelopeScale(16, 1, wifi.ChannelFreq(6))
+	cal := 0.5 * tag.ReceivedEnvelopeScale(units.DBm(16), units.Meters(1), wifi.ChannelFreq(6))
 	distances := []float64{0.5, 1.0, 2.0, 3.0}
 	errsPer, err := parallel.Map(parallel.New(workers), len(distances)*2, func(i int) (int, error) {
 		m := distances[i/2]
 		if i%2 == 0 {
-			return core.DownlinkBERTrial(units.Meters(m), 16, 50e-6, bitsPerPoint, seed+int64(m*10))
+			return core.DownlinkBERTrial(units.Meters(m), units.DBm(16), 50e-6, bitsPerPoint, seed+int64(m*10))
 		}
-		return core.DownlinkBERTrialWithCircuit(units.Meters(m), 16, 50e-6, bitsPerPoint,
+		return core.DownlinkBERTrialWithCircuit(units.Meters(m), units.DBm(16), 50e-6, bitsPerPoint,
 			seed+int64(m*10), func(c *tag.Circuit) { c.FixedThreshold = cal })
 	})
 	if err != nil {

@@ -37,7 +37,7 @@ func DownlinkBER(bitsPerPoint int, seed int64, workers int) (*Table, error) {
 		func(i int) (int, error) {
 			m := Fig17Distances[i/len(Fig17BitDurations)]
 			bd := Fig17BitDurations[i%len(Fig17BitDurations)]
-			return core.DownlinkBERTrial(units.Meters(m), 16, bd, bitsPerPoint,
+			return core.DownlinkBERTrial(units.Meters(m), units.DBm(16), bd, bitsPerPoint,
 				seed+int64(m*1000)+int64(bd*1e7))
 		})
 	if err != nil {
@@ -167,10 +167,10 @@ func PowerBudget() *Table {
 	t.AddRow("transmit circuit", fmt.Sprintf("%.2f µW", tag.TransmitPowerMicrowatt))
 	t.AddRow("receive circuit", fmt.Sprintf("%.2f µW", tag.ReceivePowerMicrowatt))
 	t.AddRow("total always-on load", fmt.Sprintf("%.2f µW", tag.CircuitLoadMicrowatt))
-	oneFoot := h.WiFiHarvest(16, 0.3048)
+	oneFoot := h.WiFiHarvest(units.DBm(16), units.Meters(0.3048))
 	t.AddRow("Wi-Fi harvest at 1 ft", fmt.Sprintf("%.2f µW", float64(oneFoot)))
 	t.AddRow("continuous at 1 ft", fmt.Sprintf("%v", float64(oneFoot) >= tag.CircuitLoadMicrowatt))
-	tv := h.TVHarvest(10_000)
+	tv := h.TVHarvest(units.Meters(10_000))
 	t.AddRow("TV harvest at 10 km", fmt.Sprintf("%.2f µW", float64(tv)))
 	t.AddRow("duty cycle at 10 km", fmt.Sprintf("%.0f%%", 100*tag.DutyCycle(tv, tag.CircuitLoadMicrowatt)))
 	return t

@@ -33,10 +33,10 @@ type Location struct {
 
 // TestbedLocations reproduces Fig. 13's placements.
 var TestbedLocations = []Location{
-	{Name: "2", Distance: 3, Walls: 0, BaseSNR: 26},
-	{Name: "3", Distance: 5.5, Walls: 0, BaseSNR: 21},
-	{Name: "4", Distance: 7, Walls: 0, BaseSNR: 16},
-	{Name: "5", Distance: 9, Walls: 1, BaseSNR: 11, Contended: true},
+	{Name: "2", Distance: units.Meters(3), Walls: 0, BaseSNR: units.DB(26)},
+	{Name: "3", Distance: units.Meters(5.5), Walls: 0, BaseSNR: units.DB(21)},
+	{Name: "4", Distance: units.Meters(7), Walls: 0, BaseSNR: units.DB(16)},
+	{Name: "5", Distance: units.Meters(9), Walls: 1, BaseSNR: units.DB(11), Contended: true},
 }
 
 // HelperLocations reproduces Fig. 14: the probability of receiving a

@@ -67,7 +67,7 @@ func (s Suite) Experiments() []Experiment {
 			return GoodSubchannels(opt)
 		}},
 		{"fig6", "raw CSI trace at 1 m", func() (*Table, error) {
-			_, t, err := RawCSITrace(1, tracePackets, s.Seed+1)
+			_, t, err := RawCSITrace(units.Meters(1), tracePackets, s.Seed+1)
 			return t, err
 		}},
 		{"fig10a", "uplink BER vs distance (CSI)", func() (*Table, error) {

@@ -58,9 +58,9 @@ type LogDistance struct {
 func DefaultIndoor() LogDistance {
 	return LogDistance{
 		Exponent:    2.8,
-		RefDistance: 1,
+		RefDistance: units.Meters(1),
 		Frequency:   2.437 * units.GHz,
-		WallLoss:    6,
+		WallLoss:    units.DB(6),
 	}
 }
 
@@ -91,5 +91,5 @@ func (m LogDistance) AmplitudeGain(d units.Meters, walls int) float64 {
 // bandwidth plus a receiver noise figure.
 func ThermalNoiseDBm(bandwidth units.Hertz, noiseFigure units.DB) units.DBm {
 	// kT at 290 K is -174 dBm/Hz.
-	return units.DBm(-174+10*math.Log10(float64(bandwidth))) + units.DBm(noiseFigure)
+	return units.DBm(-174 + 10*math.Log10(float64(bandwidth))).Add(noiseFigure)
 }

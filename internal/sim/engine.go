@@ -97,6 +97,10 @@ type eventQueue []*event
 func (q eventQueue) Len() int { return len(q) }
 
 func (q eventQueue) Less(i, j int) bool {
+	// A heap comparator needs a strict weak ordering; a tolerance here
+	// would make "equal" intransitive and corrupt the queue. Timestamps
+	// are only compared for tie-breaking, never for decode decisions.
+	//wblint:ignore FS001 strict weak ordering requires exact comparison; ties fall through to seq
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}

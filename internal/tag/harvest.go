@@ -34,9 +34,9 @@ func DefaultHarvester() Harvester {
 	return Harvester{
 		WiFiAperture:   6 * 1.3e-3 * 0.25, // six patches, 25% rectifier
 		TVAperture:     0.014,             // UHF dipole aperture × efficiency
-		TVTowerEIRP:    90,                // 1 MW ERP
+		TVTowerEIRP:    units.DBm(90),                // 1 MW ERP
 		TVPathExponent: 2.2,
-		TVRefDistance:  100,
+		TVRefDistance:  units.Meters(100),
 	}
 }
 
@@ -47,7 +47,7 @@ const CircuitLoadMicrowatt = TransmitPowerMicrowatt + ReceivePowerMicrowatt
 // WiFiHarvest returns the DC power from a Wi-Fi transmitter with EIRP p at
 // distance d.
 func (h Harvester) WiFiHarvest(p units.DBm, d units.Meters) units.Microwatt {
-	return harvest(p, d, h.WiFiAperture, 2, 1)
+	return harvest(p, d, h.WiFiAperture, 2, units.Meters(1))
 }
 
 // TVHarvest returns the DC power from the TV tower at distance d.
@@ -62,7 +62,7 @@ func harvest(p units.DBm, d units.Meters, aperture, exponent float64, ref units.
 		return 0
 	}
 	if ref <= 0 {
-		ref = 1
+		ref = units.Meters(1)
 	}
 	// Density at the reference distance (free space), then power-law
 	// beyond it.

@@ -207,6 +207,7 @@ func analyzeChannel(id ChannelID, raw []float64, ts []float64, bins [][]int, cfg
 		mm += means[j] * means[j]
 		pp += preambleLevels[j] * preambleLevels[j]
 	}
+	//wblint:ignore PH003 ownership transfers to the caller inside channelStats; released in a batch by releaseStats (or the DecodeSingleChannel defer) after combining
 	st := channelStats{id: id, cond: cond, sign: 1}
 	if mm > 0 && pp > 0 {
 		st.corr = dot / math.Sqrt(mm*pp)
