@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint race fuzz bench check
+.PHONY: all build vet test lint race fuzz bench metrics-golden check
 
 all: check
 
@@ -39,4 +39,11 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem
 
-check: vet build lint race fuzz
+# Pins the observability contract: the aggregated pipeline metrics from an
+# instrumented sweep must match testdata/metrics_golden.json byte for byte
+# and be identical at every -workers value. Regenerate after an intentional
+# instrumentation change with `go test ./internal/eval/ -run TestMetricsGolden -update`.
+metrics-golden:
+	$(GO) test ./internal/eval/ -run 'TestMetricsGolden|TestMetricsWorkerInvariance'
+
+check: vet build lint race fuzz metrics-golden

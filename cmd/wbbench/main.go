@@ -4,6 +4,7 @@
 // Usage:
 //
 //	wbbench [-quick] [-seed N] [-workers N] [-only fig10a,fig17,...] [-compare]
+//	        [-metrics out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Without flags it runs the full paper-scale suite (minutes); -quick runs
 // a reduced version of every experiment in seconds. -workers bounds the
@@ -11,6 +12,12 @@
 // count produces bit-identical tables. -compare runs the selected
 // experiments twice — serial then parallel — verifies the outputs match,
 // and reports the wall-clock speedup.
+//
+// -metrics writes the suite's aggregated pipeline metrics (decoder,
+// medium, engine counters from every instrumented experiment) as
+// deterministic JSON: the bytes depend only on seed and experiment
+// selection, not on -workers or wall-clock. -cpuprofile and -memprofile
+// write standard runtime/pprof profiles for `go tool pprof`.
 package main
 
 import (
@@ -18,10 +25,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,9 +40,29 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig10a,fig17); empty runs all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	compare := flag.Bool("compare", false, "run serial then parallel, verify identical output, report speedup")
+	metricsFile := flag.String("metrics", "", "write aggregated pipeline metrics as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wbbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "wbbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	suite := eval.Suite{Seed: *seed, Quick: *quick, Workers: *workers, Progress: os.Stderr}
+	if *metricsFile != "" {
+		suite.Metrics = obs.NewRegistry()
+	}
 	if *list {
 		for _, e := range suite.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Name)
@@ -60,12 +89,51 @@ func main() {
 			fmt.Fprintln(os.Stderr, "wbbench:", err)
 			os.Exit(1)
 		}
-		return
-	}
-	if err := suite.Run(os.Stdout, filter); err != nil {
+	} else if err := suite.Run(os.Stdout, filter); err != nil {
 		fmt.Fprintln(os.Stderr, "wbbench:", err)
 		os.Exit(1)
 	}
+	if *metricsFile != "" {
+		if err := writeMetrics(*metricsFile, suite.Metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "wbbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *memProfile != "" {
+		if err := writeMemProfile(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "wbbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics renders the registry's snapshot to path. The output is
+// deterministic: sorted metric names, no timestamps or host details.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMemProfile forces a GC for up-to-date allocation stats, then writes
+// the heap profile.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runCompare times the suite at one worker and at the requested worker

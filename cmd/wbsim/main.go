@@ -5,6 +5,11 @@
 // Usage:
 //
 //	wbsim [-tag-dist cm] [-helper-dist m] [-rate bps] [-data hex] [-seed N]
+//	      [-metrics out.json]
+//
+// -metrics writes the deployment's pipeline metrics (engine, medium,
+// decoder, encoder, transaction counters) as deterministic JSON after the
+// transaction completes.
 package main
 
 import (
@@ -21,12 +26,13 @@ import (
 
 // options carries the parsed command line.
 type options struct {
-	tagDist    float64 // cm
-	helperDist float64 // m
-	rate       uint
-	helperRate float64
-	data       uint64
-	seed       int64
+	tagDist     float64 // cm
+	helperDist  float64 // m
+	rate        uint
+	helperRate  float64
+	data        uint64
+	seed        int64
+	metricsFile string
 }
 
 func main() {
@@ -37,6 +43,7 @@ func main() {
 	flag.Float64Var(&opts.helperRate, "helper-rate", 1000, "helper traffic in packets/s")
 	flag.Uint64Var(&opts.data, "data", 0xBEEF00C0FFEE, "48-bit tag payload to report")
 	flag.Int64Var(&opts.seed, "seed", 1, "random seed")
+	flag.StringVar(&opts.metricsFile, "metrics", "", "write pipeline metrics as JSON to this file")
 	flag.Parse()
 
 	if err := run(os.Stdout, opts); err != nil {
@@ -70,9 +77,11 @@ func run(out io.Writer, opts options) error {
 		opts.tagDist, opts.helperDist, opts.helperRate)
 	fmt.Fprintf(out, "uplink modulation depth: %.1f%%\n", 100*sys.ModulationDepth())
 
-	(&wifi.CBRSource{
+	if err := (&wifi.CBRSource{
 		Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 1 / opts.helperRate,
-	}).Start()
+	}).Start(); err != nil {
+		return err
+	}
 	sys.Run(0.3) // warm up traffic
 
 	q := reader.Query{Command: reader.CmdRead, TagID: 0x0042, BitRate: uint16(opts.rate)}
@@ -93,5 +102,16 @@ func run(out io.Writer, opts options) error {
 			res.ResponseData, opts.data&((1<<48)-1))
 	}
 	fmt.Fprintln(out, "round trip complete: payload verified")
+	if opts.metricsFile != "" {
+		f, err := os.Create(opts.metricsFile)
+		if err != nil {
+			return err
+		}
+		if err := sys.Metrics().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
 	return nil
 }

@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	wbtrace [-tag-dist cm] [-packets N] [-what csi|rssi|frames] [-seed N] > out
+//	wbtrace [-tag-dist cm] [-packets N] [-what csi|rssi|frames] [-seed N]
+//	        [-metrics out.json] > out
 //	wbtrace -summarize trace.wbt
+//
+// -metrics writes the capture run's pipeline metrics (engine and medium
+// counters) as deterministic JSON alongside the trace.
 package main
 
 import (
@@ -31,6 +35,7 @@ func main() {
 	what := flag.String("what", "csi", "csi, rssi (CSV) or frames (binary capture)")
 	seed := flag.Int64("seed", 1, "random seed")
 	summarize := flag.String("summarize", "", "summarize an existing frame capture and exit")
+	metricsFile := flag.String("metrics", "", "write pipeline metrics as JSON to this file")
 	flag.Parse()
 
 	if *summarize != "" {
@@ -40,7 +45,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(os.Stdout, *tagDist, *packets, *what, *seed); err != nil {
+	if err := run(os.Stdout, *tagDist, *packets, *what, *seed, *metricsFile); err != nil {
 		fmt.Fprintln(os.Stderr, "wbtrace:", err)
 		os.Exit(1)
 	}
@@ -73,7 +78,7 @@ func summarizeFile(out io.Writer, path string) error {
 	return nil
 }
 
-func run(out io.Writer, tagDist float64, packets int, what string, seed int64) error {
+func run(out io.Writer, tagDist float64, packets int, what string, seed int64, metricsFile string) error {
 	if packets <= 0 {
 		return fmt.Errorf("-packets must be positive (got %d)", packets)
 	}
@@ -93,9 +98,11 @@ func run(out io.Writer, tagDist float64, packets int, what string, seed int64) e
 		return err
 	}
 	sys.EnableTxLog()
-	(&wifi.CBRSource{
+	if err := (&wifi.CBRSource{
 		Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 0.001,
-	}).Start()
+	}).Start(); err != nil {
+		return err
+	}
 	payload := make([]bool, packets/10)
 	for i := range payload {
 		payload[i] = i%2 == 0
@@ -105,6 +112,19 @@ func run(out io.Writer, tagDist float64, packets int, what string, seed int64) e
 		return err
 	}
 	sys.Run(mod.End() + 0.5)
+	if metricsFile != "" {
+		f, err := os.Create(metricsFile)
+		if err != nil {
+			return err
+		}
+		if err := sys.Metrics().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 	s := sys.Series()
 
 	if what == "frames" {

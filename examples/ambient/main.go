@@ -37,16 +37,20 @@ func main() {
 	// The office network, none of it under our control: the AP serves a
 	// streaming client and background chatter.
 	hour := 14.0 // mid-afternoon
-	(&wifi.PoissonSource{
+	if err := (&wifi.PoissonSource{
 		Station: sys.Helper, Dst: wifi.MAC{0x02, 0, 0, 0, 0, 9},
 		Payload: 400, Rate: wifi.OfficeLoad(hour), Rnd: rng.New(11),
-	}).Start()
+	}).Start(); err != nil {
+		log.Fatal(err)
+	}
 	client := sys.AddStation("streaming-client", units.DBm(16), units.Meters(5))
-	(&wifi.BurstySource{
+	if err := (&wifi.BurstySource{
 		Station: client, Dst: wifi.MAC{0x02, 0, 0, 0, 0, 1},
 		Payload: 600, MeanBurst: 15, MeanGap: 0.06, InBurstInterval: 0.0008,
 		Rnd: rng.New(12),
-	}).Start()
+	}).Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	// The reader measures what the network is giving it.
 	est, err := reader.NewRateEstimator(1.0)

@@ -34,10 +34,12 @@ func main() {
 	// The AP beacons at 50/s (a 20 ms beacon interval, as the paper's
 	// sweep configures); nothing else is on the air.
 	const beaconsPerSecond = 50.0
-	(&wifi.BeaconSource{
+	if err := (&wifi.BeaconSource{
 		Station:  sys.Helper,
 		Interval: 1 / beaconsPerSecond,
-	}).Start()
+	}).Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	// ~10 beacons per bit sustains a 5 bps uplink.
 	const bitRate = 5.0

@@ -35,10 +35,12 @@ func main() {
 		log.Fatal(err)
 	}
 	sys.EnableTxLog()
-	(&wifi.CBRSource{
+	if err := (&wifi.CBRSource{
 		Station: sys.Helper, Dst: wifi.MAC{0x02, 0, 0, 0, 0, 9},
 		Payload: 200, Interval: 0.001,
-	}).Start()
+	}).Start(); err != nil {
+		log.Fatal(err)
+	}
 	sys.Run(0.2)
 
 	// Harvesting: TV tower 12 km away.

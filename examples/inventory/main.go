@@ -30,10 +30,12 @@ func main() {
 		log.Fatal(err)
 	}
 	// Ambient traffic for the uplink.
-	(&wifi.CBRSource{
+	if err := (&wifi.CBRSource{
 		Station: sys.Helper, Dst: wifi.MAC{0x02, 0, 0, 0, 0, 9},
 		Payload: 200, Interval: 0.001,
-	}).Start()
+	}).Start(); err != nil {
+		log.Fatal(err)
+	}
 	sys.Run(0.3)
 
 	// The unknown population: six tags, 12–37 cm from the reader.

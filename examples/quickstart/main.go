@@ -31,12 +31,14 @@ func main() {
 	}
 
 	// 2. Give the helper (the AP) some traffic for the tag to ride on.
-	(&wifi.CBRSource{
+	if err := (&wifi.CBRSource{
 		Station:  sys.Helper,
 		Dst:      wifi.MAC{0x02, 0, 0, 0, 0, 9},
 		Payload:  200,
 		Interval: 0.001, // 1000 packets/s
-	}).Start()
+	}).Start(); err != nil {
+		log.Fatal(err)
+	}
 	sys.Run(0.3) // let traffic warm up
 
 	// 3. Query the tag: "read your sensor, answer at 100 bps".

@@ -53,7 +53,9 @@ func main() {
 		Rate:    loads[0],
 		Rnd:     rng.New(99),
 	}
-	traffic.Start()
+	if err := traffic.Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	// The reader watches the helper's delivered packet rate (§5).
 	est, err := reader.NewRateEstimator(1.0)

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/csi"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -99,6 +100,7 @@ type System struct {
 	// Card is the reader's measurement front end.
 	Card *csi.Card
 
+	obs        *obs.Registry
 	rnd        *rng.Stream
 	envStream  *rng.Stream
 	mods       []*tag.Modulator // per-tag active transmission (nil = idle)
@@ -136,10 +138,14 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	eng := sim.NewEngine()
 	medium := wifi.NewMedium(eng, rnd.Split("medium"))
+	reg := obs.NewRegistry()
+	eng.Instrument(reg)
+	medium.Instrument(reg)
 	s := &System{
 		cfg:        cfg,
 		Eng:        eng,
 		Medium:     medium,
+		obs:        reg,
 		Channel:    channel,
 		Card:       csi.NewCard(cardModel, rnd.Split("card")),
 		rnd:        rnd,
@@ -177,7 +183,10 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		h, herr := s.Channel.Observe(at, s.states)
 		if herr != nil {
-			panic(herr) // states and tags are kept in lockstep
+			// Programmer-error assert: s.states and the channel's tag
+			// set are resized together in AddTag, so a mismatch here is
+			// a bug in this file, not reachable from user input.
+			panic(herr)
 		}
 		s.series.Append(s.Card.Measure(at, h))
 	})
@@ -186,6 +195,12 @@ func NewSystem(cfg Config) (*System, error) {
 
 // Config returns the (defaulted) configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// Metrics returns the system's observability registry. Every substrate the
+// system assembles (engine, medium, decoders, encoders) registers its
+// counters here; snapshot it after a run for a deterministic account of the
+// pipeline. The registry is confined to the system's goroutine.
+func (s *System) Metrics() *obs.Registry { return s.obs }
 
 // AddStation places an extra Wi-Fi station at the given distance from the
 // tag, e.g. ambient clients or an interfering transmitter.
@@ -254,7 +269,12 @@ func (s *System) UplinkDecoder(bitRate float64) (*uplink.Decoder, error) {
 	if bitRate <= 0 {
 		return nil, fmt.Errorf("core: bit rate must be positive, got %v", bitRate)
 	}
-	return uplink.NewDecoder(uplink.DefaultConfig(1 / bitRate))
+	dec, err := uplink.NewDecoder(uplink.DefaultConfig(1 / bitRate))
+	if err != nil {
+		return nil, err
+	}
+	dec.Instrument(s.obs)
+	return dec, nil
 }
 
 // Run advances the simulation to absolute time t.

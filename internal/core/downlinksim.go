@@ -87,6 +87,7 @@ func (s *System) DecodeDownlinkWindow(start, dur, bitDuration float64) (*Downlin
 	if err != nil {
 		return nil, err
 	}
+	s.obs.Counter("tag.downlink_windows").Inc()
 	circuit := tag.DefaultCircuit(s.rnd.Split(fmt.Sprintf("circuit-%f", start)))
 	comp := make([]bool, len(env))
 	for i, v := range env {
@@ -113,14 +114,17 @@ func (s *System) DecodeDownlinkWindow(start, dur, bitDuration float64) (*Downlin
 		if perr != nil {
 			res.Err = perr
 			dec.FalseWakes++
+			s.obs.Counter("tag.crc_failures").Inc()
 			continue // keep scanning: a later match may decode
 		}
 		res.Message = msg
 		res.Err = nil
+		s.obs.Counter("tag.downlink_decodes").Inc()
 		return res, nil
 	}
 	if !res.PreambleFound {
 		res.Err = errors.New("core: no downlink preamble detected")
+		s.obs.Counter("tag.preamble_misses").Inc()
 	} else if res.Err == nil {
 		res.Err = errors.New("core: preamble matched but payload incomplete")
 	}

@@ -74,6 +74,8 @@ func (s *System) RunQuery(q reader.Query, tagData uint64, tc TransactionConfig) 
 	if err != nil {
 		return nil, err
 	}
+	enc.Instrument(s.obs)
+	txnStart := s.Eng.Now()
 	chunks := enc.Plan(q.Encode().Bits())
 	if len(chunks) != 1 {
 		return nil, fmt.Errorf("core: query does not fit one reservation (%d chunks)", len(chunks))
@@ -90,6 +92,10 @@ func (s *System) RunQuery(q reader.Query, tagData uint64, tc TransactionConfig) 
 			return
 		}
 		res.Attempts = tr.Attempts
+		s.obs.Counter("txn.attempts").Inc()
+		if tr.Attempts > 1 {
+			s.obs.Counter("txn.retries").Inc()
+		}
 		deadline := s.Eng.Now() + tc.ResponseTimeout
 		if err := enc.Send(s.Medium, s.Reader, chunks, func(_ int, start float64) {
 			// Tag decodes at the end of the protected window.
@@ -131,6 +137,8 @@ func (s *System) RunQuery(q reader.Query, tagData uint64, tc TransactionConfig) 
 					res.ResponseData = msg.Data
 					tr.Complete()
 					done = true
+					s.obs.Counter("txn.completed").Inc()
+					s.obs.Timer("txn.duration_s").Observe(s.Eng.Now() - txnStart)
 				})
 			})
 		}); err != nil {

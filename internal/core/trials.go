@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dsp"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/tag"
 	"repro/internal/uplink"
@@ -64,14 +65,17 @@ type UplinkTrialResult struct {
 	// Detected reports whether the preamble correlation cleared the
 	// detection threshold.
 	Detected bool
+	// Metrics is the trial System's metrics snapshot, taken after the
+	// decode. Aggregate across trials with obs.Registry.Merge.
+	Metrics *obs.Snapshot
 }
 
 // startHelperTraffic wires the spec's traffic source to the helper.
-func startHelperTraffic(sys *System, spec UplinkTrialSpec) {
+func startHelperTraffic(sys *System, spec UplinkTrialSpec) error {
 	dst := wifi.MAC{0x02, 0, 0, 0, 0, 9}
 	switch {
 	case spec.UseBeacons:
-		(&wifi.BeaconSource{
+		return (&wifi.BeaconSource{
 			Station:  sys.Helper,
 			Interval: 1 / spec.HelperPacketsPerSecond,
 		}).Start()
@@ -84,13 +88,13 @@ func startHelperTraffic(sys *System, spec UplinkTrialSpec) {
 		if gap < 0.001 {
 			gap = 0.001
 		}
-		(&wifi.BurstySource{
+		return (&wifi.BurstySource{
 			Station: sys.Helper, Dst: dst, Payload: 200,
 			MeanBurst: burst, MeanGap: gap, InBurstInterval: inBurst,
 			Rnd: rng.New(spec.Config.Seed + 991),
 		}).Start()
 	default:
-		(&wifi.CBRSource{
+		return (&wifi.CBRSource{
 			Station:  sys.Helper,
 			Dst:      dst,
 			Payload:  200,
@@ -109,7 +113,9 @@ func RunUplinkVariantTrial(spec UplinkTrialSpec, v uplink.Variant) (*UplinkTrial
 	if err != nil {
 		return nil, err
 	}
-	startHelperTraffic(sys, spec)
+	if err := startHelperTraffic(sys, spec); err != nil {
+		return nil, err
+	}
 	payload := RandomPayload(spec.PayloadLen, spec.Config.Seed+7777)
 	mod, err := sys.TransmitUplink(tag.FrameBits(payload), 1.0, spec.BitRate)
 	if err != nil {
@@ -129,6 +135,7 @@ func RunUplinkVariantTrial(spec UplinkTrialSpec, v uplink.Variant) (*UplinkTrial
 		Result:    res,
 		BitErrors: CountBitErrors(res.Payload, payload),
 		Detected:  dec.Detected(res),
+		Metrics:   sys.Metrics().Snapshot(),
 	}, nil
 }
 
@@ -168,7 +175,9 @@ func RunUplinkTrial(spec UplinkTrialSpec) (*UplinkTrialResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	startHelperTraffic(sys, spec)
+	if err := startHelperTraffic(sys, spec); err != nil {
+		return nil, err
+	}
 	payload := RandomPayload(spec.PayloadLen, spec.Config.Seed+7777)
 	const txStart = 1.0 // warm-up so the conditioning window has context
 	mod, err := sys.TransmitUplink(tag.FrameBits(payload), txStart, spec.BitRate)
@@ -195,6 +204,7 @@ func RunUplinkTrial(spec UplinkTrialSpec) (*UplinkTrialResult, error) {
 		Result:    res,
 		BitErrors: CountBitErrors(res.Payload, payload),
 		Detected:  dec.Detected(res),
+		Metrics:   sys.Metrics().Snapshot(),
 	}, nil
 }
 
@@ -208,12 +218,14 @@ func RunSingleChannelTrial(spec UplinkTrialSpec, antenna, subchannel int) (*Upli
 	if err != nil {
 		return nil, err
 	}
-	(&wifi.CBRSource{
+	if err := (&wifi.CBRSource{
 		Station:  sys.Helper,
 		Dst:      wifi.MAC{0x02, 0, 0, 0, 0, 9},
 		Payload:  200,
 		Interval: 1 / spec.HelperPacketsPerSecond,
-	}).Start()
+	}).Start(); err != nil {
+		return nil, err
+	}
 	payload := RandomPayload(spec.PayloadLen, spec.Config.Seed+7777)
 	mod, err := sys.TransmitUplink(tag.FrameBits(payload), 1.0, spec.BitRate)
 	if err != nil {
@@ -233,6 +245,7 @@ func RunSingleChannelTrial(spec UplinkTrialSpec, antenna, subchannel int) (*Upli
 		Result:    res,
 		BitErrors: CountBitErrors(res.Payload, payload),
 		Detected:  dec.Detected(res),
+		Metrics:   sys.Metrics().Snapshot(),
 	}, nil
 }
 
@@ -250,12 +263,14 @@ func RunLongRangeTrial(spec UplinkTrialSpec, codeLen int) (*UplinkTrialResult, e
 	if err != nil {
 		return nil, err
 	}
-	(&wifi.CBRSource{
+	if err := (&wifi.CBRSource{
 		Station:  sys.Helper,
 		Dst:      wifi.MAC{0x02, 0, 0, 0, 0, 9},
 		Payload:  200,
 		Interval: 1 / spec.HelperPacketsPerSecond,
-	}).Start()
+	}).Start(); err != nil {
+		return nil, err
+	}
 	payload := RandomPayload(spec.PayloadLen, spec.Config.Seed+7777)
 	chips := tag.ExpandWithCodes(payload, code0, code1)
 	frame := make([]bool, 0, 26+len(chips))
@@ -280,5 +295,6 @@ func RunLongRangeTrial(spec UplinkTrialSpec, codeLen int) (*UplinkTrialResult, e
 		Result:    &uplink.Result{Payload: res.Payload, Good: res.Good, PreambleCorrelation: 1},
 		BitErrors: CountBitErrors(res.Payload, payload),
 		Detected:  true,
+		Metrics:   sys.Metrics().Snapshot(),
 	}, nil
 }

@@ -3,6 +3,7 @@ package downlink
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/wifi"
 )
 
@@ -21,6 +22,42 @@ type Encoder struct {
 	// Guard is the lead time inside the reservation before the first
 	// bit slot.
 	Guard float64
+	// OnError, when non-nil, receives failures that occur inside the
+	// event-driven send schedule, where Send's error return has already
+	// been consumed: the chunk index and the scheduling error. The send
+	// is aborted (no further markers or chunks) either way.
+	OnError func(chunk int, err error)
+
+	met encoderMetrics
+}
+
+// encoderMetrics holds the encoder's obs handles; the zero value means
+// "not instrumented" (nil handles no-op).
+type encoderMetrics struct {
+	chunksPlanned *obs.Counter
+	chunksSent    *obs.Counter
+	markersSent   *obs.Counter
+	navGrants     *obs.Counter
+	navErrors     *obs.Counter
+	sendsAborted  *obs.Counter
+	window        *obs.Timer
+}
+
+// Instrument registers the encoder's downlink accounting on r
+// (downlink.* in the README's metric catalog): chunks planned and sent,
+// marker packets placed, NAV grants consumed, mid-send scheduling errors
+// and the resulting aborts, and the reservation-length distribution. A
+// nil registry detaches the metrics.
+func (e *Encoder) Instrument(r *obs.Registry) {
+	e.met = encoderMetrics{
+		chunksPlanned: r.Counter("downlink.chunks_planned"),
+		chunksSent:    r.Counter("downlink.chunks_sent"),
+		markersSent:   r.Counter("downlink.markers_sent"),
+		navGrants:     r.Counter("downlink.nav_grants"),
+		navErrors:     r.Counter("downlink.nav_errors"),
+		sendsAborted:  r.Counter("downlink.sends_aborted"),
+		window:        r.Timer("downlink.window_s"),
+	}
 }
 
 // NewEncoder validates the bit duration against the shortest transmittable
@@ -117,18 +154,31 @@ func (e *Encoder) Send(m *wifi.Medium, st *wifi.Station, chunks []Chunk, onWindo
 	if len(chunks) == 0 {
 		return fmt.Errorf("downlink: nothing to send")
 	}
+	e.met.chunksPlanned.Add(int64(len(chunks)))
 	var sendChunk func(i int)
 	sendChunk = func(i int) {
 		c := chunks[i]
 		st.OnNAVGranted = func(start, navEnd float64) {
 			st.OnNAVGranted = nil
+			e.met.navGrants.Inc()
 			for _, off := range c.PacketOffsets {
 				if err := m.TransmitInNAV(st, e.markerFrame(), e.Rate, start+off); err != nil {
-					// Scheduling inside a fresh reservation only
-					// fails on programmer error; surface loudly.
-					panic(fmt.Sprintf("downlink: NAV transmit: %v", err))
+					// The closure runs long after Send returned, so the
+					// error cannot use Send's return path: record it,
+					// hand it to OnError, and abort the remaining
+					// markers and chunks rather than panicking inside
+					// the event loop.
+					e.met.navErrors.Inc()
+					e.met.sendsAborted.Inc()
+					if e.OnError != nil {
+						e.OnError(i, fmt.Errorf("downlink: NAV transmit: %w", err))
+					}
+					return
 				}
+				e.met.markersSent.Inc()
 			}
+			e.met.chunksSent.Inc()
+			e.met.window.Observe(c.Reservation)
 			if onWindow != nil {
 				onWindow(i, start)
 			}

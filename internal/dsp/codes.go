@@ -68,6 +68,9 @@ func WalshPair(n int) (code0, code1 []float64, err error) {
 // It panics if the lengths differ.
 func DotProduct(a, b []float64) float64 {
 	if len(a) != len(b) {
+		// Programmer-error assert: callers slice both vectors from the
+		// same chip layout, so a length mismatch is a bug at the call
+		// site, not a condition reachable from decoded input.
 		panic(fmt.Sprintf("dsp: DotProduct length mismatch %d != %d", len(a), len(b)))
 	}
 	var sum float64

@@ -103,11 +103,11 @@ func MAD(xs []float64) float64 {
 	return 1.4826 * Median(devs)
 }
 
-// MinMax returns the smallest and largest values in xs. It panics on an
-// empty slice.
+// MinMax returns the smallest and largest values in xs, or (0, 0) for an
+// empty slice, matching the zero-on-empty convention of Mean and Median.
 func MinMax(xs []float64) (min, max float64) {
 	if len(xs) == 0 {
-		panic("dsp: MinMax of empty slice")
+		return 0, 0
 	}
 	min, max = xs[0], xs[0]
 	for _, x := range xs[1:] {

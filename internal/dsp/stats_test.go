@@ -76,12 +76,12 @@ func TestMinMax(t *testing.T) {
 	if min != -1 || max != 7 {
 		t.Errorf("MinMax = (%v, %v), want (-1, 7)", min, max)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("MinMax(nil) should panic")
-		}
-	}()
-	MinMax(nil)
+	if min, max := MinMax(nil); min != 0 || max != 0 {
+		t.Errorf("MinMax(nil) = (%v, %v), want (0, 0)", min, max)
+	}
+	if min, max := MinMax([]float64{}); min != 0 || max != 0 {
+		t.Errorf("MinMax(empty) = (%v, %v), want (0, 0)", min, max)
+	}
 }
 
 func TestArgMax(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -24,6 +25,14 @@ var Fig17BitDurations = []float64{50e-6, 100e-6, 200e-6}
 // per point). The distance × rate grid fans out over workers goroutines
 // (0 = GOMAXPROCS, 1 = serial) with identical results.
 func DownlinkBER(bitsPerPoint int, seed int64, workers int) (*Table, error) {
+	return DownlinkBERObs(bitsPerPoint, seed, workers, nil)
+}
+
+// DownlinkBERObs is DownlinkBER with sweep-level accounting: the trials are
+// standalone circuit simulations (no System registry to snapshot), so the
+// sweep itself counts trials, transmitted bits, and bit errors into reg.
+// A nil registry skips the accounting.
+func DownlinkBERObs(bitsPerPoint int, seed int64, workers int, reg *obs.Registry) (*Table, error) {
 	if bitsPerPoint <= 0 {
 		bitsPerPoint = 200_000
 	}
@@ -42,6 +51,11 @@ func DownlinkBER(bitsPerPoint int, seed int64, workers int) (*Table, error) {
 		})
 	if err != nil {
 		return nil, err
+	}
+	for _, errs := range errsPer {
+		reg.Counter("eval.downlink_trials").Inc()
+		reg.Counter("eval.downlink_bits").Add(int64(bitsPerPoint))
+		reg.Counter("eval.downlink_bit_errors").Add(int64(errs))
 	}
 	for di, m := range Fig17Distances {
 		row := []string{fmt.Sprintf("%.2f m", m)}
@@ -106,23 +120,29 @@ func falsePositiveRun(load float64, seconds float64, seed int64) (matches, pkts 
 	// a closed-loop TCP download whose self-clocked ACKs are the short
 	// packets (~36 µs airtime) that land in the preamble's band, and
 	// background office chatter.
-	(&wifi.BurstySource{
+	if err := (&wifi.BurstySource{
 		Station: ap, Dst: wifi.MAC{2}, Payload: 600,
 		MeanBurst: 12, MeanGap: 0.08, InBurstInterval: 0.0008,
 		Rnd: rnd.Split("stream"),
-	}).Start()
-	(&wifi.TCPSource{
+	}).Start(); err != nil {
+		return 0, 0, err
+	}
+	if err := (&wifi.TCPSource{
 		Sender: ap, Receiver: client, Rnd: rnd.Split("tcp"),
 		// Streaming-like pacing: a modest window over a wired RTT, so
 		// the flow contributes a few hundred packets/s rather than
 		// saturating the medium.
 		MaxWindow: 8, ServerRTT: 0.03,
-	}).Start()
+	}).Start(); err != nil {
+		return 0, 0, err
+	}
 	if load > 100 {
-		(&wifi.PoissonSource{
+		if err := (&wifi.PoissonSource{
 			Station: client, Dst: wifi.MAC{1}, Payload: 300,
 			Rate: load - 100, Rnd: rnd.Split("office"),
-		}).Start()
+		}).Start(); err != nil {
+			return 0, 0, err
+		}
 	}
 	dec, err := tag.NewDecoder(50e-6)
 	if err != nil {

@@ -83,9 +83,11 @@ func AckDetection(opt Options) (*Table, error) {
 			if err != nil {
 				return outcome{}, err
 			}
-			(&wifi.CBRSource{
+			if err := (&wifi.CBRSource{
 				Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 1.0 / helperRate,
-			}).Start()
+			}).Start(); err != nil {
+				return outcome{}, err
+			}
 			mod, err := sys.TransmitUplink(uplink.AckBits(), 1.0, helperRate/10)
 			if err != nil {
 				return outcome{}, err

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/inventory"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/units"
 	"repro/internal/wifi"
@@ -24,20 +25,26 @@ func MultiTagInventory(opt Options) (*Table, error) {
 		Columns: []string{"tags", "identified", "rounds", "slots", "collisions", "air time"},
 	}
 	populations := []int{1, 2, 4, 6, 8}
+	type run struct {
+		res  *inventory.Result
+		snap *obs.Snapshot
+	}
 	// Each population size is one self-contained simulation; fan them out.
 	results, err := parallel.Map(opt.engine(), len(populations),
-		func(i int) (*inventory.Result, error) {
+		func(i int) (run, error) {
 			n := populations[i]
 			sys, err := core.NewSystem(core.Config{
 				Seed:              opt.Seed + int64(n)*37,
 				TagReaderDistance: units.Centimeters(12),
 			})
 			if err != nil {
-				return nil, err
+				return run{}, err
 			}
-			(&wifi.CBRSource{
+			if err := (&wifi.CBRSource{
 				Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 0.001,
-			}).Start()
+			}).Start(); err != nil {
+				return run{}, err
+			}
 			sys.Run(0.3)
 			ids := make([]uint64, n)
 			dists := make([]units.Meters, n)
@@ -47,15 +54,22 @@ func MultiTagInventory(opt Options) (*Table, error) {
 			}
 			inv, err := inventory.New(sys, ids, dists, inventory.DefaultConfig())
 			if err != nil {
-				return nil, err
+				return run{}, err
 			}
-			return inv.Run()
+			res, err := inv.Run()
+			if err != nil {
+				return run{}, err
+			}
+			return run{res, sys.Metrics().Snapshot()}, nil
 		})
 	if err != nil {
 		return nil, err
 	}
+	for _, r := range results {
+		opt.Obs.Merge(r.snap)
+	}
 	for i, n := range populations {
-		res := results[i]
+		res := results[i].res
 		t.AddRow(fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", len(res.Identified)),
 			fmt.Sprintf("%d", res.Rounds),

@@ -1,0 +1,78 @@
+package eval
+
+// Metrics determinism tests: the obs layer promises that the aggregated
+// pipeline metrics depend only on seed and experiment selection — never on
+// worker count, scheduling, or wall-clock. Two tests pin that promise:
+//
+//   - TestMetricsWorkerInvariance renders the same instrumented sweep at
+//     Workers=1 and Workers=8 and requires byte-identical JSON.
+//   - TestMetricsGolden pins the exact bytes against
+//     testdata/metrics_golden.json, so any change to instrumentation
+//     (new counters, renamed metrics, altered trial structure) shows up
+//     as a readable diff. Regenerate after an intentional change with:
+//
+//	go test ./internal/eval/ -run TestMetricsGolden -update
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// metricsExperiments is the sweep used by both tests: an uplink BER sweep
+// (decoder, medium, engine counters), the downlink BER sweep (eval-level
+// counters), and the multi-tag inventory (downlink encoder, tag decode,
+// transaction counters). Together they touch every instrumented subsystem.
+var metricsExperiments = map[string]bool{
+	"fig10a":    true,
+	"fig17":     true,
+	"inventory": true,
+}
+
+// metricsJSON runs the metrics sweep at the given worker count and returns
+// the registry's deterministic JSON rendering.
+func metricsJSON(t *testing.T, workers int) []byte {
+	t.Helper()
+	suite := Suite{Seed: 7, Quick: true, Workers: workers, Metrics: obs.NewRegistry()}
+	if err := suite.Run(io.Discard, metricsExperiments); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := suite.Metrics.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMetricsWorkerInvariance is the property behind wbbench's -metrics
+// contract: snapshots merge on the suite goroutine in trial-index order, so
+// the aggregate must not depend on how trials were scheduled.
+func TestMetricsWorkerInvariance(t *testing.T) {
+	serial := metricsJSON(t, 1)
+	parallel := metricsJSON(t, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("metrics differ between Workers=1 and Workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+func TestMetricsGolden(t *testing.T) {
+	got := metricsJSON(t, 4)
+	path := filepath.Join("testdata", "metrics_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("metrics differ from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

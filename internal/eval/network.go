@@ -64,9 +64,11 @@ func HelperLocations(opt Options) (*Table, error) {
 			if err != nil {
 				return false, err
 			}
-			(&wifi.CBRSource{
+			if err := (&wifi.CBRSource{
 				Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 1.0 / helperRate,
-			}).Start()
+			}).Start(); err != nil {
+				return false, err
+			}
 			msg := downlink.NewMessage(uint64(opt.Seed) + uint64(trial)*77)
 			mod, err := sys.TransmitUplink(tag.FrameBits(tag.Scramble(msg.PayloadBits())), 1.0, 100)
 			if err != nil {
@@ -125,10 +127,12 @@ func AmbientTraffic(opt Options) (*Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			(&wifi.PoissonSource{
+			if err := (&wifi.PoissonSource{
 				Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 400,
 				Rate: load, Rnd: rng.New(opt.Seed + int64(trial) + int64(hour*7)),
-			}).Start()
+			}).Start(); err != nil {
+				return 0, 0, err
+			}
 			payload := core.RandomPayload(opt.PayloadLen, opt.Seed+int64(trial))
 			mod, err := sys.TransmitUplink(tag.FrameBits(payload), 1.0, rate)
 			if err != nil {

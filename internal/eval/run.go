@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -23,14 +24,19 @@ type Suite struct {
 	Workers int
 	// Progress, when non-nil, receives a line as each experiment starts.
 	Progress io.Writer
+	// Metrics, when non-nil, accumulates pipeline metrics from the
+	// instrumented experiments. Snapshots merge in trial-index order on
+	// the suite's goroutine, so the aggregate is bit-identical for every
+	// Workers value.
+	Metrics *obs.Registry
 }
 
 // options returns the trial options for the suite's scale.
 func (s Suite) options() Options {
 	if s.Quick {
-		return Options{Seed: s.Seed, Trials: 2, PayloadLen: 45, Workers: s.Workers}
+		return Options{Seed: s.Seed, Trials: 2, PayloadLen: 45, Workers: s.Workers, Obs: s.Metrics}
 	}
-	return Options{Seed: s.Seed, Trials: 20, PayloadLen: 90, Workers: s.Workers}
+	return Options{Seed: s.Seed, Trials: 20, PayloadLen: 90, Workers: s.Workers, Obs: s.Metrics}
 }
 
 // Experiment names one runnable experiment.
@@ -92,7 +98,7 @@ func (s Suite) Experiments() []Experiment {
 			return BeaconOnly(opt)
 		}},
 		{"fig17", "downlink BER vs distance", func() (*Table, error) {
-			return DownlinkBER(fig17Bits, s.Seed, s.Workers)
+			return DownlinkBERObs(fig17Bits, s.Seed, s.Workers, s.Metrics)
 		}},
 		{"fig18", "downlink false positives", func() (*Table, error) {
 			return FalsePositives(fpHours, s.Seed, s.Workers)

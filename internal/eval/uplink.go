@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/tag"
 	"repro/internal/units"
@@ -26,6 +27,12 @@ type Options struct {
 	// its own simulation from an explicit per-trial seed, so results are
 	// bit-identical for every worker count.
 	Workers int
+	// Obs, when non-nil, accumulates every trial's metrics snapshot.
+	// Each trial System owns its own registry (no cross-worker
+	// contention); snapshots are merged into Obs on the calling
+	// goroutine in trial-index order, so the aggregate is identical for
+	// every worker count.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -76,7 +83,12 @@ func UplinkBERvsDistance(mode core.DecodeMode, opt Options) (*Table, error) {
 			}
 		}
 	}
-	errsPer, err := parallel.Map(opt.engine(), len(jobs), func(i int) (int, error) {
+	type cell struct {
+		errs int
+		snap *obs.Snapshot
+	}
+	var cells []cell
+	err := parallel.Fold(opt.engine(), len(jobs), func(i int) (cell, error) {
 		j := jobs[i]
 		trial := i % opt.Trials
 		res, err := core.RunUplinkTrial(core.UplinkTrialSpec{
@@ -90,12 +102,20 @@ func UplinkBERvsDistance(mode core.DecodeMode, opt Options) (*Table, error) {
 			Mode:                   mode,
 		})
 		if err != nil {
-			return 0, err
+			return cell{}, err
 		}
-		return res.BitErrors, nil
+		return cell{res.BitErrors, res.Metrics}, nil
+	}, func(c cell) error {
+		opt.Obs.Merge(c.snap)
+		cells = append(cells, c)
+		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	errsPer := make([]int, len(cells))
+	for i, c := range cells {
+		errsPer[i] = c.errs
 	}
 	idx := 0
 	for _, cm := range Fig10Distances {
@@ -132,7 +152,10 @@ func FrequencyDiversity(opt Options) (*Table, error) {
 			"combining across sub-channels extends reliable decoding to ~65 cm",
 		Columns: []string{"distance", "our algorithm", "random sub-channel"},
 	}
-	type pair struct{ our, rnd int }
+	type pair struct {
+		our, rnd int
+		snaps    [2]*obs.Snapshot
+	}
 	results, err := parallel.Map(opt.engine(), len(Fig10Distances)*opt.Trials,
 		func(i int) (pair, error) {
 			cm := Fig10Distances[i/opt.Trials]
@@ -161,10 +184,17 @@ func FrequencyDiversity(opt Options) (*Table, error) {
 			if err != nil {
 				return pair{}, err
 			}
-			return pair{our: full.BitErrors, rnd: single.BitErrors}, nil
+			return pair{
+				our: full.BitErrors, rnd: single.BitErrors,
+				snaps: [2]*obs.Snapshot{full.Metrics, single.Metrics},
+			}, nil
 		})
 	if err != nil {
 		return nil, err
+	}
+	for _, p := range results {
+		opt.Obs.Merge(p.snaps[0])
+		opt.Obs.Merge(p.snaps[1])
 	}
 	for di, cm := range Fig10Distances {
 		var ourErrs, ourBits, rndErrs, rndBits int
@@ -334,9 +364,11 @@ func RawCSITrace(distance units.Meters, packets int, seed int64) ([]float64, *Ta
 	if err != nil {
 		return nil, nil, err
 	}
-	(&wifi.CBRSource{
+	if err := (&wifi.CBRSource{
 		Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 1.0 / helperRate,
-	}).Start()
+	}).Start(); err != nil {
+		return nil, nil, err
+	}
 	payload := make([]bool, packets/10)
 	for i := range payload {
 		payload[i] = i%2 == 0
@@ -418,9 +450,11 @@ func NormalizedPDF(packets int, seed int64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	(&wifi.CBRSource{
+	if err := (&wifi.CBRSource{
 		Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 1.0 / helperRate,
-	}).Start()
+	}).Start(); err != nil {
+		return nil, err
+	}
 	payload := make([]bool, packets/10)
 	for i := range payload {
 		payload[i] = i%2 == 0
@@ -508,9 +542,11 @@ func GoodSubchannels(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		(&wifi.CBRSource{
+		if err := (&wifi.CBRSource{
 			Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 1.0 / helperRate,
-		}).Start()
+		}).Start(); err != nil {
+			return nil, err
+		}
 		payloadBits := core.RandomPayload(payload, opt.Seed+int64(cm))
 		mod, err := sys.TransmitUplink(tag.FrameBits(payloadBits), 1.0, helperRate/30)
 		if err != nil {

@@ -389,6 +389,7 @@ func (inv *Inventory) sendDownlink(msg downlink.Message) (start, dur float64, er
 	if err != nil {
 		return 0, 0, err
 	}
+	enc.Instrument(sys.Metrics())
 	chunks := enc.Plan(msg.Bits())
 	if len(chunks) != 1 {
 		return 0, 0, fmt.Errorf("inventory: message needs %d reservations", len(chunks))

@@ -1,0 +1,272 @@
+// Package obs is the pipeline observability layer: a lightweight,
+// allocation-conscious metrics registry (counters, gauges, fixed-bucket
+// histograms, and sim-time stage timers) whose snapshots are deterministic.
+//
+// The layer exists to make the decode pipeline inspectable without
+// breaking the reproduction's bit-identical-replay guarantee, so it obeys
+// two contracts the usual metrics libraries do not:
+//
+//   - No wall-clock reads. Timers measure *simulated* durations handed in
+//     by the caller (sim.Engine virtual seconds); nothing in this package
+//     imports time, so wblint's DT001 holds by construction.
+//   - Deterministic output. Snapshot and WriteJSON order every metric by
+//     name and render with encoding/json's stable float formatting, so two
+//     runs with the same seed — at any worker count — emit byte-identical
+//     files.
+//
+// Concurrency model: a Registry and the metric handles it returns are
+// confined to one goroutine at a time (each simulated System owns its
+// own). Parallel trials each build their own registry and the per-trial
+// Snapshots are folded into an aggregate registry in trial-index order on
+// the calling goroutine (see internal/parallel.Fold), which keeps merges
+// contention-free and the aggregate independent of worker count.
+//
+// Every accessor and mutator is nil-safe: a nil *Registry hands out nil
+// handles and a nil handle's methods are no-ops, so instrumented code
+// pays one branch when observability is off.
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n. Negative deltas are ignored: a counter
+// only moves forward, so a buggy caller cannot make drop accounting
+// disagree between runs.
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.n += n
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Gauge records the most recent and the largest value observed — the
+// high-water semantics queue depths and window sizes need.
+type Gauge struct {
+	value float64
+	max   float64
+	seen  bool
+}
+
+// Set records v as the current value and raises the high-water mark.
+// Non-finite values are ignored so a snapshot always marshals to JSON.
+func (g *Gauge) Set(v float64) {
+	if g == nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	g.value = v
+	if !g.seen || v > g.max {
+		g.max = v
+	}
+	g.seen = true
+}
+
+// Value returns the most recently set value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.value
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Histogram counts observations into fixed buckets. Bucket i holds values
+// v <= Bounds[i] (and greater than the previous bound); one implicit
+// overflow bucket holds everything above the last bound. Bounds are fixed
+// at creation so histograms from different trials merge bucket-for-bucket.
+type Histogram struct {
+	bounds    []float64
+	counts    []int64 // len(bounds)+1; last is overflow
+	sum       float64
+	n         int64
+	nonFinite int64
+}
+
+// newHistogram builds a histogram over sorted upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value. Non-finite values are tallied separately
+// (never into sum) so snapshots stay JSON-marshalable and deterministic.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.nonFinite++
+		return
+	}
+	h.sum += v
+	h.n++
+	h.counts[sort.SearchFloat64s(h.bounds, v)]++
+}
+
+// Count returns the number of finite observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of finite observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the mean of finite observations, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Timer accumulates simulated (virtual-clock) durations in seconds. It is
+// a histogram over a fixed duration scale; callers compute the duration
+// from sim.Engine.Now() deltas — never from the wall clock.
+type Timer struct {
+	h *Histogram
+}
+
+// Observe records one simulated duration in seconds.
+func (t *Timer) Observe(seconds float64) {
+	if t == nil {
+		return
+	}
+	t.h.Observe(seconds)
+}
+
+// Histogram exposes the timer's underlying distribution.
+func (t *Timer) Histogram() *Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.h
+}
+
+// DurationBuckets are the default timer bounds: 1 µs to ~100 s in decade
+// steps with a 3× midpoint, covering slot times through whole-trial spans.
+var DurationBuckets = []float64{
+	1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+	1e-2, 3e-2, 1e-1, 3e-1, 1, 3, 10, 30, 100,
+}
+
+// UnitBuckets span [0, 1] scores such as preamble correlations.
+var UnitBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, start+float64(i)*width)
+	}
+	return out
+}
+
+// Registry names and owns a set of metrics. The zero value is not usable;
+// call NewRegistry. A nil *Registry is a valid "observability off" value:
+// it hands out nil handles whose methods no-op.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Fetch the
+// handle once and retain it; the map lookup is for wiring, not hot paths.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use. A name's bounds are fixed by its first creation;
+// later calls return the existing histogram regardless of bounds, so one
+// instrumentation site must own each name.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Timer returns the named sim-time timer over DurationBuckets, creating
+// it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{h: newHistogram(DurationBuckets)}
+		r.timers[name] = t
+	}
+	return t
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // negative deltas ignored: counters only move forward
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("second lookup should return the same handle")
+	}
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	g := NewRegistry().Gauge("q")
+	g.Set(3)
+	g.Set(7)
+	g.Set(2)
+	g.Set(math.NaN()) // ignored
+	g.Set(math.Inf(1))
+	if g.Value() != 2 || g.Max() != 7 {
+		t.Fatalf("gauge = (%v, max %v), want (2, 7)", g.Value(), g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100, math.NaN(), math.Inf(-1)} {
+		h.Observe(v)
+	}
+	snap := snapHistogram("h", h)
+	wantCounts := []int64{2, 1, 1, 1} // (-inf,1] (1,2] (2,4] (4,inf)
+	for i, want := range wantCounts {
+		if snap.Counts[i] != want {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, snap.Counts[i], want, snap.Counts)
+		}
+	}
+	if h.Count() != 5 || snap.NonFinite != 2 {
+		t.Fatalf("count = %d nonfinite = %d, want 5 and 2", h.Count(), snap.NonFinite)
+	}
+	if got := h.Mean(); math.Abs(got-106.0/5) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", got, 106.0/5)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x", UnitBuckets).Observe(1)
+	r.Timer("x").Observe(1)
+	r.Merge(NewRegistry().Snapshot())
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil registry WriteJSON: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("nil registry should still emit an empty snapshot")
+	}
+	var c *Counter
+	c.Inc()
+	var g *Gauge
+	g.Set(1)
+	var h *Histogram
+	h.Observe(1)
+	var tm *Timer
+	tm.Observe(1)
+	if c.Value() != 0 || g.Max() != 0 || h.Count() != 0 || tm.Histogram().Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+}
+
+// populate builds a registry with one metric of each kind.
+func populate(scale int64) *Registry {
+	r := NewRegistry()
+	r.Counter("c").Add(scale)
+	r.Gauge("g").Set(float64(scale))
+	h := r.Histogram("h", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(float64(scale))
+	r.Timer("t").Observe(0.001 * float64(scale))
+	return r
+}
+
+func TestSnapshotJSONStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := populate(3).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := populate(3).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("identical registries rendered differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestMergeOrderIndependentForCounts(t *testing.T) {
+	// Counters and histogram buckets are commutative; merging two trial
+	// snapshots in either order gives the same totals.
+	fold := func(order []int64) *Snapshot {
+		agg := NewRegistry()
+		for _, s := range order {
+			agg.Merge(populate(s).Snapshot())
+		}
+		return agg.Snapshot()
+	}
+	a, b := fold([]int64{2, 5}), fold([]int64{5, 2})
+	if a.Counters[0].Value != b.Counters[0].Value {
+		t.Fatalf("counter merge depends on order: %d vs %d", a.Counters[0].Value, b.Counters[0].Value)
+	}
+	for i := range a.Histograms[0].Counts {
+		if a.Histograms[0].Counts[i] != b.Histograms[0].Counts[i] {
+			t.Fatalf("histogram bucket %d differs across merge orders", i)
+		}
+	}
+	if a.Gauges[0].Max != b.Gauges[0].Max {
+		t.Fatalf("gauge max differs across merge orders: %v vs %v", a.Gauges[0].Max, b.Gauges[0].Max)
+	}
+}
+
+func TestMergeDeterministicInIndexOrder(t *testing.T) {
+	// The full contract: folding the same snapshots in the same order
+	// yields byte-identical JSON — this is what makes -workers invisible.
+	run := func() []byte {
+		agg := NewRegistry()
+		for i := int64(1); i <= 4; i++ {
+			agg.Merge(populate(i).Snapshot())
+		}
+		var buf bytes.Buffer
+		if err := agg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("index-ordered folds rendered differently")
+	}
+}
+
+func TestMergeMismatchedBoundsGoesToOverflow(t *testing.T) {
+	// Two sites claiming one name with different bounds must not lose
+	// observations: excess buckets fold into the overflow.
+	agg := NewRegistry()
+	agg.Histogram("h", []float64{1}).Observe(0.5)
+	other := NewRegistry()
+	oh := other.Histogram("h", []float64{1, 2, 3})
+	for _, v := range []float64{0.5, 1.5, 2.5, 9} {
+		oh.Observe(v)
+	}
+	agg.Merge(other.Snapshot())
+	snap := agg.Snapshot().Histograms[0]
+	var total int64
+	for _, c := range snap.Counts {
+		total += c
+	}
+	if total != 5 || snap.Count != 5 {
+		t.Fatalf("merge lost observations: buckets sum %d, count %d, want 5", total, snap.Count)
+	}
+}
+
+func TestTimerUsesDurationBuckets(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("stage")
+	tm.Observe(0.0025) // between 1e-3 and 3e-3
+	snap := r.Snapshot().Timers[0]
+	if len(snap.Bounds) != len(DurationBuckets) {
+		t.Fatalf("timer bounds = %d, want %d", len(snap.Bounds), len(DurationBuckets))
+	}
+	idx := -1
+	for i, c := range snap.Counts {
+		if c == 1 {
+			idx = i
+		}
+	}
+	if idx < 0 || snap.Bounds[idx] != 3e-3 {
+		t.Fatalf("2.5 ms landed in bucket %d (bounds %v)", idx, snap.Bounds)
+	}
+}

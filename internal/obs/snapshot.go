@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot is a point-in-time, order-stable copy of a registry: every
+// section is sorted by metric name, so marshaling a snapshot taken from
+// the same simulated state always yields the same bytes. Snapshots are
+// also the merge currency — parallel trials return one each and the
+// aggregator folds them in trial-index order.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+	Timers     []HistogramSnapshot `json:"timers"`
+}
+
+// CounterSnapshot is one counter's state.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's state.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Max   float64 `json:"max"`
+}
+
+// HistogramSnapshot is one histogram's (or timer's) state.
+type HistogramSnapshot struct {
+	Name      string    `json:"name"`
+	Bounds    []float64 `json:"bounds"`
+	Counts    []int64   `json:"counts"`
+	Sum       float64   `json:"sum"`
+	Count     int64     `json:"count"`
+	NonFinite int64     `json:"non_finite,omitempty"`
+}
+
+// snapHistogram copies one histogram's state under a name.
+func snapHistogram(name string, h *Histogram) HistogramSnapshot {
+	return HistogramSnapshot{
+		Name:      name,
+		Bounds:    append([]float64(nil), h.bounds...),
+		Counts:    append([]int64(nil), h.counts...),
+		Sum:       h.sum,
+		Count:     h.n,
+		NonFinite: h.nonFinite,
+	}
+}
+
+// Snapshot copies the registry's current state with every section sorted
+// by name. A nil registry yields an empty (but non-nil) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   []CounterSnapshot{},
+		Gauges:     []GaugeSnapshot{},
+		Histograms: []HistogramSnapshot{},
+		Timers:     []HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	for _, name := range sortedKeys(r.counters) {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: r.counters[name].n})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		g := r.gauges[name]
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: g.value, Max: g.max})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		s.Histograms = append(s.Histograms, snapHistogram(name, r.hists[name]))
+	}
+	for _, name := range sortedKeys(r.timers) {
+		s.Timers = append(s.Timers, snapHistogram(name, r.timers[name].h))
+	}
+	return s
+}
+
+// sortedKeys returns a map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Merge folds a snapshot into the registry: counters and histogram
+// buckets add, gauges keep the later value and the running maximum.
+// Callers must merge in a deterministic order (trial-index order for
+// parallel sweeps) so gauge values and float sums — whose accumulation is
+// order-sensitive — come out identical at every worker count.
+func (r *Registry) Merge(s *Snapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	for _, c := range s.Counters {
+		r.Counter(c.Name).Add(c.Value)
+	}
+	for _, gs := range s.Gauges {
+		g := r.Gauge(gs.Name)
+		g.value = gs.Value
+		if !g.seen || gs.Max > g.max {
+			g.max = gs.Max
+		}
+		g.seen = true
+	}
+	for _, hs := range s.Histograms {
+		mergeHistogram(r.Histogram(hs.Name, hs.Bounds), hs)
+	}
+	for _, hs := range s.Timers {
+		mergeHistogram(r.Timer(hs.Name).h, hs)
+	}
+}
+
+// mergeHistogram adds a snapshot's tallies into h. Buckets add pairwise;
+// if the snapshot somehow carries more buckets than h (two sites claimed
+// one name with different bounds), the excess lands in h's overflow
+// bucket so no observation is silently lost.
+func mergeHistogram(h *Histogram, hs HistogramSnapshot) {
+	for i, c := range hs.Counts {
+		j := i
+		if j >= len(h.counts) {
+			j = len(h.counts) - 1
+		}
+		h.counts[j] += c
+	}
+	h.sum += hs.Sum
+	h.n += hs.Count
+	h.nonFinite += hs.NonFinite
+}
+
+// WriteJSON renders the registry's snapshot as indented JSON followed by
+// a newline. The bytes are a pure function of the simulated state: same
+// seed, same output, at any worker count.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}
+
+// WriteJSON renders the snapshot as indented JSON followed by a newline.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshaling snapshot: %w", err)
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

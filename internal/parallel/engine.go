@@ -138,3 +138,22 @@ func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	return out, nil
 }
+
+// Fold runs fn over [0, n) on the engine and folds every result into acc
+// with merge, in strict index order, on the calling goroutine after all
+// workers finish. The index-ordered fold is what makes worker-count
+// invisible to non-commutative accumulation (float sums, gauge last-value
+// semantics): results are produced concurrently but consumed serially in
+// the same order a one-worker run would produce them.
+func Fold[T any](e *Engine, n int, fn func(i int) (T, error), acc func(v T) error) error {
+	out, err := Map(e, n, fn)
+	if err != nil {
+		return err
+	}
+	for _, v := range out {
+		if err := acc(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -7,6 +7,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Engine is a discrete-event scheduler. The zero value is not usable; call
@@ -17,6 +19,10 @@ type Engine struct {
 	seq int64
 	// running guards against re-entrant Run calls.
 	running bool
+
+	// Metrics handles (nil when the engine is not instrumented).
+	evDispatched *obs.Counter
+	queueDepth   *obs.Gauge
 }
 
 // NewEngine returns an empty engine with the clock at zero.
@@ -26,6 +32,14 @@ func NewEngine() *Engine {
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
+
+// Instrument registers the engine's metrics on r: sim.events_dispatched
+// counts executed events and sim.queue_depth tracks the queue length with
+// its high-water mark. Passing a nil registry detaches the metrics.
+func (e *Engine) Instrument(r *obs.Registry) {
+	e.evDispatched = r.Counter("sim.events_dispatched")
+	e.queueDepth = r.Gauge("sim.queue_depth")
+}
 
 // Schedule runs fn after delay seconds of virtual time. Negative delays are
 // clamped to zero (run at the current instant, after already-queued events
@@ -41,6 +55,9 @@ func (e *Engine) Schedule(delay float64, fn func()) {
 // clamped to the current time.
 func (e *Engine) ScheduleAt(t float64, fn func()) {
 	if fn == nil {
+		// Programmer-error assert: a nil event function is a bug at the
+		// scheduling call site, never reachable from validated user input
+		// (library constructors reject bad parameters before scheduling).
 		panic("sim: ScheduleAt with nil function")
 	}
 	if t < e.now {
@@ -48,6 +65,7 @@ func (e *Engine) ScheduleAt(t float64, fn func()) {
 	}
 	e.seq++
 	heap.Push(&e.q, &event{at: t, seq: e.seq, fn: fn})
+	e.queueDepth.Set(float64(e.q.Len()))
 }
 
 // Run executes events in time order until the queue is empty or the clock
@@ -55,6 +73,8 @@ func (e *Engine) ScheduleAt(t float64, fn func()) {
 // exactly at until do run. It returns the number of events executed.
 func (e *Engine) Run(until float64) int {
 	if e.running {
+		// Programmer-error assert: calling Run from inside an event
+		// callback would corrupt the clock; no input data reaches here.
 		panic("sim: re-entrant Run")
 	}
 	e.running = true
@@ -69,6 +89,7 @@ func (e *Engine) Run(until float64) int {
 		e.now = ev.at
 		ev.fn()
 		n++
+		e.evDispatched.Inc()
 	}
 	if e.now < until && e.q.Len() == 0 {
 		// Queue drained: advance the clock to the horizon so

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/csi"
 	"repro/internal/dsp"
+	"repro/internal/obs"
 )
 
 // Config tunes the decoder. The zero value is not valid; use
@@ -239,6 +240,40 @@ func analyzeChannel(id ChannelID, raw []float64, ts []float64, bins [][]int, cfg
 // Decoder decodes tag transmissions from measurement series.
 type Decoder struct {
 	cfg Config
+	met decoderMetrics
+}
+
+// decoderMetrics holds the decoder's obs handles; the zero value means
+// "not instrumented" (nil handles no-op).
+type decoderMetrics struct {
+	decodes          *obs.Counter
+	channelsAnalyzed *obs.Counter
+	channelsSelected *obs.Counter
+	channelsRejected *obs.Counter
+	bitsDecoded      *obs.Counter
+	bitsFlipped      *obs.Counter // hysteresis decision transitions
+	emptyBins        *obs.Counter
+	corr             *obs.Histogram
+	measPerBit       *obs.Histogram
+}
+
+// Instrument registers the decoder's per-stage pipeline accounting on r
+// (uplink.* in the README's metric catalog): channels analyzed vs kept by
+// the sub-channel selection, bits decoded, hysteresis flips, empty bit
+// bins, and the distributions of preamble correlation and measurement
+// density. A nil registry detaches the metrics.
+func (d *Decoder) Instrument(r *obs.Registry) {
+	d.met = decoderMetrics{
+		decodes:          r.Counter("uplink.decodes"),
+		channelsAnalyzed: r.Counter("uplink.channels_analyzed"),
+		channelsSelected: r.Counter("uplink.channels_selected"),
+		channelsRejected: r.Counter("uplink.channels_rejected"),
+		bitsDecoded:      r.Counter("uplink.bits_decoded"),
+		bitsFlipped:      r.Counter("uplink.hysteresis_flips"),
+		emptyBins:        r.Counter("uplink.empty_bins"),
+		corr:             r.Histogram("uplink.preamble_correlation", obs.UnitBuckets),
+		measPerBit:       r.Histogram("uplink.measurements_per_bit", obs.LinearBuckets(0, 5, 16)),
+	}
 }
 
 // NewDecoder validates the config and returns a decoder.
@@ -293,6 +328,7 @@ func (d *Decoder) DecodeCSI(s *csi.Series, start float64, payloadLen int) (*Resu
 				return nil, err
 			}
 			stats = append(stats, analyzeChannel(ChannelID{a, k}, raw[lo:hi], ts, bins, d.cfg))
+			d.met.channelsAnalyzed.Inc()
 		}
 	}
 	return d.combineAndDecide(stats, bins, payloadLen)
@@ -329,6 +365,7 @@ func (d *Decoder) DecodeRSSI(s *csi.Series, start float64, payloadLen int) (*Res
 			return nil, err
 		}
 		stats = append(stats, analyzeChannel(ChannelID{a, -1}, raw[lo:hi], ts, bins, d.cfg))
+		d.met.channelsAnalyzed.Inc()
 	}
 	if len(stats) == 0 {
 		return nil, fmt.Errorf("uplink: series has no antennas")
@@ -337,6 +374,7 @@ func (d *Decoder) DecodeRSSI(s *csi.Series, start float64, payloadLen int) (*Res
 	sort.Slice(stats, func(i, j int) bool {
 		return math.Abs(stats[i].corr) > math.Abs(stats[j].corr)
 	})
+	d.met.channelsRejected.Add(int64(len(stats) - 1))
 	return d.combineSelected(stats[:1], bins, payloadLen)
 }
 
@@ -350,6 +388,7 @@ func (d *Decoder) combineAndDecide(stats []channelStats, bins [][]int, payloadLe
 	if g > len(stats) {
 		g = len(stats)
 	}
+	d.met.channelsRejected.Add(int64(len(stats) - g))
 	return d.combineSelected(stats[:g], bins, payloadLen)
 }
 
@@ -359,6 +398,8 @@ func (d *Decoder) combineSelected(sel []channelStats, bins [][]int, payloadLen i
 	if len(sel) == 0 {
 		return nil, fmt.Errorf("uplink: no channels to combine")
 	}
+	d.met.decodes.Inc()
+	d.met.channelsSelected.Add(int64(len(sel)))
 	n := len(sel[0].cond)
 	// Per-measurement MRC: y_t = Σ sign_i · c_i(t) / σ_i².
 	combined := dsp.GetSlice(n)
@@ -381,20 +422,31 @@ func (d *Decoder) combineSelected(sel []channelStats, bins [][]int, payloadLen i
 	hyst := dsp.NewHysteresis(mu, sd)
 	decisions := dsp.GetSlice(n)
 	defer dsp.PutSlice(decisions)
+	var flips int64
+	prev := 0
 	for t, v := range combined {
+		cur := -1
 		if hyst.Update(v) {
-			decisions[t] = 1
-		} else {
-			decisions[t] = -1
+			cur = 1
 		}
+		decisions[t] = float64(cur)
+		if t > 0 && cur != prev {
+			flips++
+		}
+		prev = cur
 	}
+	d.met.bitsFlipped.Add(flips)
 	// Majority vote per payload bit. Decisions are ±1, so counting the
 	// positive ones in place is exactly dsp.MajorityVote without the
 	// per-bit vote slice.
 	payload := make([]bool, payloadLen)
 	var measured float64
+	var empty int64
 	for b := 0; b < payloadLen; b++ {
 		bin := bins[13+b]
+		if len(bin) == 0 {
+			empty++
+		}
 		pos := 0
 		for _, idx := range bin {
 			if decisions[idx] > 0 {
@@ -410,6 +462,10 @@ func (d *Decoder) combineSelected(sel []channelStats, bins [][]int, payloadLen i
 		MeasurementsPerBit:  measured / float64(payloadLen),
 		Good:                make([]ChannelID, 0, len(sel)),
 	}
+	d.met.bitsDecoded.Add(int64(payloadLen))
+	d.met.emptyBins.Add(empty)
+	d.met.corr.Observe(res.PreambleCorrelation)
+	d.met.measPerBit.Observe(res.MeasurementsPerBit)
 	for _, st := range sel {
 		res.Good = append(res.Good, st.id)
 	}
@@ -459,5 +515,6 @@ func (d *Decoder) DecodeSingleChannel(s *csi.Series, start float64, payloadLen, 
 	bins := binByTimestamp(ts, start, d.cfg.BitDuration, nbits)
 	st := analyzeChannel(ChannelID{antenna, subchannel}, raw[lo:hi], ts, bins, d.cfg)
 	defer dsp.PutSlice(st.cond)
+	d.met.channelsAnalyzed.Inc()
 	return d.combineSelected([]channelStats{st}, bins, payloadLen)
 }

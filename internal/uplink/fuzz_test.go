@@ -11,6 +11,7 @@ package uplink
 // with e.g. `go test -fuzz=FuzzDecodeCSI -fuzztime=5m ./internal/uplink/`.
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -107,6 +108,13 @@ func FuzzDecodeCSI(f *testing.F) {
 	f.Add(seedBytes(512), uint8(1), uint8(1), 0.01, uint8(1))
 	f.Add([]byte{255, 254, 253, 0, 1, 2}, uint8(2), uint8(4), math.NaN(), uint8(10))
 	f.Add([]byte{}, uint8(3), uint8(30), -1.0, uint8(20))
+	// Every measurement with zero antennas: the record layout is
+	// [dt, sign, jagged-check, row-count], so 23 trips the jagged branch
+	// (23%23 == 0) and the following 0 sets rows = 0 — the empty-selection
+	// path that once reached dsp.MinMax with nothing selected.
+	f.Add(bytes.Repeat([]byte{10, 1, 23, 0}, 128), uint8(3), uint8(30), 0.0, uint8(16))
+	// Alternating zero-antenna and jagged single-antenna rows.
+	f.Add(bytes.Repeat([]byte{10, 1, 23, 0, 10, 1, 23, 1, 120, 80}, 64), uint8(2), uint8(4), 0.0, uint8(8))
 	f.Fuzz(func(t *testing.T, data []byte, antsRaw, subsRaw uint8, start float64, payloadRaw uint8) {
 		ants := 1 + int(antsRaw)%4
 		subs := 1 + int(subsRaw)%32
@@ -127,6 +135,29 @@ func FuzzDecodeCSI(f *testing.F) {
 		_, _ = d.DecodeSingleChannel(s, start, payloadLen, int(antsRaw)-2, int(subsRaw)-2)
 		_, _ = d.NormalizedChannel(s, int(antsRaw)%4, int(subsRaw)%32)
 	})
+}
+
+// TestDecodeEmptySelection pins the empty-selection behaviour the fuzz
+// seeds above probe: a series whose measurements carry no antennas must
+// come back as a decode error from every entry point, never a panic.
+func TestDecodeEmptySelection(t *testing.T) {
+	s := &csi.Series{}
+	for i := 0; i < 64; i++ {
+		s.Append(csi.Measurement{Timestamp: float64(i) * 1e-3})
+	}
+	d, err := NewDecoder(DefaultConfig(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DecodeCSI(s, 0, 8); err == nil {
+		t.Error("DecodeCSI with zero antennas should error")
+	}
+	if _, err := d.DecodeRSSI(s, 0, 8); err == nil {
+		t.Error("DecodeRSSI with zero antennas should error")
+	}
+	if _, err := d.DecodeSingleChannel(s, 0, 8, 0, 0); err == nil {
+		t.Error("DecodeSingleChannel with zero antennas should error")
+	}
 }
 
 func FuzzDecodeLongRange(f *testing.F) {

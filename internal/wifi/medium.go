@@ -3,6 +3,7 @@ package wifi
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -44,6 +45,44 @@ type Medium struct {
 	navOwner     *Station
 	roundPending bool
 	listeners    []Listener
+	met          mediumMetrics
+}
+
+// mediumMetrics holds the medium's obs handles. The zero value (all nil)
+// means "not instrumented"; every handle method no-ops on nil.
+type mediumMetrics struct {
+	offered    *obs.Counter
+	delivered  *obs.Counter
+	collided   *obs.Counter
+	lost       *obs.Counter
+	dropped    *obs.Counter
+	retries    *obs.Counter
+	bytes      *obs.Counter
+	rounds     *obs.Counter
+	navGrants  *obs.Counter
+	navTx      *obs.Counter
+	airtime    *obs.Timer
+	queueDepth *obs.Gauge
+}
+
+// Instrument registers the medium's traffic accounting on r (see the
+// README's metric catalog for the wifi.* names). Call before traffic
+// starts; a nil registry detaches the metrics.
+func (m *Medium) Instrument(r *obs.Registry) {
+	m.met = mediumMetrics{
+		offered:    r.Counter("wifi.frames_offered"),
+		delivered:  r.Counter("wifi.frames_delivered"),
+		collided:   r.Counter("wifi.frames_collided"),
+		lost:       r.Counter("wifi.frames_lost"),
+		dropped:    r.Counter("wifi.frames_dropped"),
+		retries:    r.Counter("wifi.retries"),
+		bytes:      r.Counter("wifi.bytes_delivered"),
+		rounds:     r.Counter("wifi.contention_rounds"),
+		navGrants:  r.Counter("wifi.nav_grants"),
+		navTx:      r.Counter("wifi.nav_transmissions"),
+		airtime:    r.Timer("wifi.airtime_s"),
+		queueDepth: r.Gauge("wifi.queue_depth"),
+	}
 }
 
 // NewMedium creates a medium bound to the engine and randomness stream.
@@ -125,6 +164,7 @@ func (m *Medium) AddStation(name string, addr MAC, rate Rate) *Station {
 func (s *Station) Enqueue(f *Frame) bool {
 	if len(s.queue) >= MaxQueue {
 		s.DroppedFrames++
+		s.medium.met.dropped.Inc()
 		return false
 	}
 	s.seq++
@@ -133,6 +173,8 @@ func (s *Station) Enqueue(f *Frame) bool {
 		f.Header.Addr2 = s.Addr
 	}
 	s.queue = append(s.queue, f)
+	s.medium.met.offered.Inc()
+	s.medium.met.queueDepth.Set(float64(len(s.queue)))
 	s.medium.kick()
 	return true
 }
@@ -157,6 +199,7 @@ func (m *Medium) kick() {
 // round resolves one contention round.
 func (m *Medium) round() {
 	m.roundPending = false
+	m.met.rounds.Inc()
 	now := m.eng.Now()
 	if m.FreeAt()+DIFS > now+1e-12 {
 		// The medium became busy after this round was scheduled;
@@ -208,6 +251,7 @@ func (m *Medium) deliver(st *Station, start float64) {
 	air := AirTime(f.Length(), rate)
 	end := start + air
 	m.busyUntil = end
+	m.met.airtime.Observe(air)
 	// Channel-error loss at the intended receiver.
 	lost := false
 	if st.SNR != nil && f.Header.Type == TypeData {
@@ -221,10 +265,13 @@ func (m *Medium) deliver(st *Station, start float64) {
 	m.notify(tx)
 	if lost {
 		st.LostFrames++
+		m.met.lost.Inc()
 		st.onFailure(f)
 	} else {
 		st.DeliveredFrames++
 		st.DeliveredBytes += f.Length()
+		m.met.delivered.Inc()
+		m.met.bytes.Add(int64(f.Length()))
 		st.onSuccess()
 		if f.Header.Type == TypeCTSToSelf {
 			nav := end + f.NAVDuration()
@@ -232,6 +279,7 @@ func (m *Medium) deliver(st *Station, start float64) {
 				m.navUntil = nav
 				m.navOwner = st
 			}
+			m.met.navGrants.Inc()
 			if st.OnNAVGranted != nil {
 				st.OnNAVGranted(end, nav)
 			}
@@ -252,6 +300,7 @@ func (m *Medium) collide(winners []*Station, start float64) {
 		f := st.queue[0]
 		st.SentFrames++
 		st.CollidedFrames++
+		m.met.collided.Inc()
 		air := AirTime(f.Length(), st.Rate)
 		if e := start + air; e > end {
 			end = e
@@ -294,10 +343,12 @@ func (s *Station) onFailure(f *Frame) {
 	s.retries++
 	if s.retries > MaxRetries {
 		s.DroppedFrames++
+		s.medium.met.dropped.Inc()
 		s.retries = 0
 		s.cw = CWMin
 		return
 	}
+	s.medium.met.retries.Inc()
 	if s.cw*2+1 <= CWMax {
 		s.cw = s.cw*2 + 1
 	} else {
@@ -333,6 +384,10 @@ func (m *Medium) TransmitInNAV(st *Station, f *Frame, rate Rate, at float64) err
 		st.SentFrames++
 		st.DeliveredFrames++
 		st.DeliveredBytes += f.Length()
+		m.met.navTx.Inc()
+		m.met.delivered.Inc()
+		m.met.bytes.Add(int64(f.Length()))
+		m.met.airtime.Observe(air)
 		m.notify(&Transmission{Station: st, Frame: f, Rate: rate, Start: start, End: end})
 		if st.OnDelivered != nil {
 			st.OnDelivered(f, end)

@@ -1,6 +1,7 @@
 package wifi
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/rng"
@@ -49,13 +50,30 @@ type TCPSource struct {
 	acked     int
 }
 
-// Start begins the transfer.
-func (t *TCPSource) Start() {
+// NewTCPSource validates and builds a TCP flow between two stations; tune
+// the exported fields (LossProb, Until, window sizes) before Start.
+func NewTCPSource(sender, receiver *Station) (*TCPSource, error) {
+	t := &TCPSource{Sender: sender, Receiver: receiver}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *TCPSource) validate() error {
 	if t.Sender == nil || t.Receiver == nil {
-		panic("wifi: TCPSource needs sender and receiver stations")
+		return fmt.Errorf("wifi: TCPSource needs sender and receiver stations")
 	}
 	if t.Sender.medium != t.Receiver.medium {
-		panic("wifi: TCPSource stations must share a medium")
+		return fmt.Errorf("wifi: TCPSource stations must share a medium")
+	}
+	return nil
+}
+
+// Start begins the transfer; it returns an error when misconfigured.
+func (t *TCPSource) Start() error {
+	if err := t.validate(); err != nil {
+		return err
 	}
 	if t.SegmentBytes <= 0 {
 		t.SegmentBytes = 1448
@@ -117,6 +135,7 @@ func (t *TCPSource) Start() {
 		})
 	}
 	t.pump()
+	return nil
 }
 
 // onAck applies slow start / congestion avoidance.

@@ -126,10 +126,22 @@ func TestTCPUntilStopsPumping(t *testing.T) {
 }
 
 func TestTCPValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("nil stations should panic")
-		}
-	}()
-	(&TCPSource{}).Start()
+	if err := (&TCPSource{}).Start(); err == nil {
+		t.Error("nil stations should error")
+	}
+	if _, err := NewTCPSource(nil, nil); err == nil {
+		t.Error("NewTCPSource with nil stations should error")
+	}
+	engA, mA := newTestMedium(41)
+	_ = engA
+	_, mB := newTestMedium(42)
+	sa := mA.AddStation("a", MAC{1}, Rate54)
+	sb := mB.AddStation("b", MAC{2}, Rate54)
+	if _, err := NewTCPSource(sa, sb); err == nil {
+		t.Error("stations on different media should error")
+	}
+	sc := mA.AddStation("c", MAC{3}, Rate54)
+	if src, err := NewTCPSource(sa, sc); err != nil || src == nil {
+		t.Errorf("valid TCPSource: %v", err)
+	}
 }

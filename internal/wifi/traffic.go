@@ -1,6 +1,7 @@
 package wifi
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/rng"
@@ -30,10 +31,31 @@ type CBRSource struct {
 	Until    float64 // stop time (absolute)
 }
 
-// Start schedules the source on the station's medium engine.
-func (c *CBRSource) Start() {
+// NewCBRSource validates and builds a constant-rate source; tune Until on
+// the returned value before Start if needed.
+func NewCBRSource(st *Station, dst MAC, payload int, interval float64) (*CBRSource, error) {
+	c := &CBRSource{Station: st, Dst: dst, Payload: payload, Interval: interval}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *CBRSource) validate() error {
+	if c.Station == nil {
+		return fmt.Errorf("wifi: CBRSource needs a station")
+	}
 	if c.Interval <= 0 {
-		panic("wifi: CBRSource needs a positive interval")
+		return fmt.Errorf("wifi: CBRSource needs a positive interval, got %v", c.Interval)
+	}
+	return nil
+}
+
+// Start schedules the source on the station's medium engine. It returns an
+// error instead of scheduling anything when the source is misconfigured.
+func (c *CBRSource) Start() error {
+	if err := c.validate(); err != nil {
+		return err
 	}
 	eng := c.Station.medium.eng
 	var tick func()
@@ -45,6 +67,7 @@ func (c *CBRSource) Start() {
 		eng.Schedule(c.Interval, tick)
 	}
 	eng.Schedule(0, tick)
+	return nil
 }
 
 // SaturatedSource keeps the station's queue backlogged with fixed-size data
@@ -57,8 +80,20 @@ type SaturatedSource struct {
 	Depth int
 }
 
+// NewSaturatedSource validates and builds a backlogged source.
+func NewSaturatedSource(st *Station, dst MAC, payload int) (*SaturatedSource, error) {
+	s := &SaturatedSource{Station: st, Dst: dst, Payload: payload}
+	if st == nil {
+		return nil, fmt.Errorf("wifi: SaturatedSource needs a station")
+	}
+	return s, nil
+}
+
 // Start begins the backlog.
-func (s *SaturatedSource) Start() {
+func (s *SaturatedSource) Start() error {
+	if s.Station == nil {
+		return fmt.Errorf("wifi: SaturatedSource needs a station")
+	}
 	depth := s.Depth
 	if depth <= 0 {
 		depth = 4
@@ -70,6 +105,7 @@ func (s *SaturatedSource) Start() {
 	}
 	s.Station.OnQueueIdle = refill
 	refill()
+	return nil
 }
 
 // PoissonSource injects data frames as a Poisson process with the given
@@ -83,10 +119,32 @@ type PoissonSource struct {
 	Rnd     *rng.Stream
 }
 
-// Start schedules the source.
-func (p *PoissonSource) Start() {
+// NewPoissonSource validates and builds a Poisson source.
+func NewPoissonSource(st *Station, dst MAC, payload int, rate float64, rnd *rng.Stream) (*PoissonSource, error) {
+	p := &PoissonSource{Station: st, Dst: dst, Payload: payload, Rate: rate, Rnd: rnd}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *PoissonSource) validate() error {
+	if p.Station == nil {
+		return fmt.Errorf("wifi: PoissonSource needs a station")
+	}
 	if p.Rate <= 0 {
-		panic("wifi: PoissonSource needs a positive rate")
+		return fmt.Errorf("wifi: PoissonSource needs a positive rate, got %v", p.Rate)
+	}
+	if p.Rnd == nil {
+		return fmt.Errorf("wifi: PoissonSource needs an rng stream")
+	}
+	return nil
+}
+
+// Start schedules the source; it returns an error when misconfigured.
+func (p *PoissonSource) Start() error {
+	if err := p.validate(); err != nil {
+		return err
 	}
 	eng := p.Station.medium.eng
 	var tick func()
@@ -98,6 +156,7 @@ func (p *PoissonSource) Start() {
 		eng.Schedule(p.Rnd.Exponential(1/p.Rate), tick)
 	}
 	eng.Schedule(p.Rnd.Exponential(1/p.Rate), tick)
+	return nil
 }
 
 // BurstySource models heavy-tailed on/off traffic (a streaming client like
@@ -117,10 +176,36 @@ type BurstySource struct {
 	Rnd             *rng.Stream
 }
 
-// Start schedules the source.
-func (b *BurstySource) Start() {
+// NewBurstySource validates and builds a heavy-tailed on/off source.
+func NewBurstySource(st *Station, dst MAC, payload int, meanBurst, meanGap, inBurst float64, rnd *rng.Stream) (*BurstySource, error) {
+	b := &BurstySource{
+		Station: st, Dst: dst, Payload: payload,
+		MeanBurst: meanBurst, MeanGap: meanGap, InBurstInterval: inBurst, Rnd: rnd,
+	}
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (b *BurstySource) validate() error {
+	if b.Station == nil {
+		return fmt.Errorf("wifi: BurstySource needs a station")
+	}
 	if b.MeanBurst <= 0 || b.MeanGap <= 0 || b.InBurstInterval <= 0 {
-		panic("wifi: BurstySource needs positive parameters")
+		return fmt.Errorf("wifi: BurstySource needs positive parameters (burst %v, gap %v, spacing %v)",
+			b.MeanBurst, b.MeanGap, b.InBurstInterval)
+	}
+	if b.Rnd == nil {
+		return fmt.Errorf("wifi: BurstySource needs an rng stream")
+	}
+	return nil
+}
+
+// Start schedules the source; it returns an error when misconfigured.
+func (b *BurstySource) Start() error {
+	if err := b.validate(); err != nil {
+		return err
 	}
 	eng := b.Station.medium.eng
 	const alpha = 1.5 // Pareto shape for burst sizes
@@ -142,6 +227,7 @@ func (b *BurstySource) Start() {
 		eng.Schedule(float64(n)*b.InBurstInterval+gap, burst)
 	}
 	eng.Schedule(0, burst)
+	return nil
 }
 
 // BeaconSource emits AP beacons at a fixed interval (Fig. 16 sweeps this
@@ -152,10 +238,29 @@ type BeaconSource struct {
 	Until    float64
 }
 
-// Start schedules beaconing.
-func (b *BeaconSource) Start() {
+// NewBeaconSource validates and builds a beacon source.
+func NewBeaconSource(st *Station, interval float64) (*BeaconSource, error) {
+	b := &BeaconSource{Station: st, Interval: interval}
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (b *BeaconSource) validate() error {
+	if b.Station == nil {
+		return fmt.Errorf("wifi: BeaconSource needs a station")
+	}
 	if b.Interval <= 0 {
-		panic("wifi: BeaconSource needs a positive interval")
+		return fmt.Errorf("wifi: BeaconSource needs a positive interval, got %v", b.Interval)
+	}
+	return nil
+}
+
+// Start schedules beaconing; it returns an error when misconfigured.
+func (b *BeaconSource) Start() error {
+	if err := b.validate(); err != nil {
+		return err
 	}
 	eng := b.Station.medium.eng
 	var tick func()
@@ -170,6 +275,7 @@ func (b *BeaconSource) Start() {
 		eng.Schedule(b.Interval, tick)
 	}
 	eng.Schedule(0, tick)
+	return nil
 }
 
 // OfficeLoad returns the diurnal office network load in packets/second at

@@ -35,12 +35,46 @@ func TestCBRSourceUntil(t *testing.T) {
 func TestCBRSourceValidation(t *testing.T) {
 	_, m := newTestMedium(3)
 	st := m.AddStation("s", MAC{1}, Rate54)
-	defer func() {
-		if recover() == nil {
-			t.Error("zero interval should panic")
-		}
-	}()
-	(&CBRSource{Station: st, Interval: 0}).Start()
+	if err := (&CBRSource{Station: st, Interval: 0}).Start(); err == nil {
+		t.Error("zero interval should error")
+	}
+	if err := (&CBRSource{Interval: 0.001}).Start(); err == nil {
+		t.Error("nil station should error")
+	}
+	if _, err := NewCBRSource(st, MAC{2}, 100, 0); err == nil {
+		t.Error("NewCBRSource with zero interval should error")
+	}
+	if src, err := NewCBRSource(st, MAC{2}, 100, 0.001); err != nil || src == nil {
+		t.Errorf("NewCBRSource with valid params: %v", err)
+	}
+}
+
+func TestSourceConstructorValidation(t *testing.T) {
+	_, m := newTestMedium(31)
+	st := m.AddStation("s", MAC{1}, Rate54)
+	if _, err := NewPoissonSource(st, MAC{2}, 100, 0, rng.New(1)); err == nil {
+		t.Error("Poisson zero rate should error")
+	}
+	if _, err := NewPoissonSource(st, MAC{2}, 100, 50, nil); err == nil {
+		t.Error("Poisson nil rng should error")
+	}
+	if _, err := NewBurstySource(st, MAC{2}, 100, 0, 0.05, 0.0005, rng.New(1)); err == nil {
+		t.Error("Bursty zero burst should error")
+	}
+	if _, err := NewBeaconSource(st, 0); err == nil {
+		t.Error("Beacon zero interval should error")
+	}
+	if _, err := NewBeaconSource(nil, 0.1); err == nil {
+		t.Error("Beacon nil station should error")
+	}
+	if _, err := NewSaturatedSource(nil, MAC{2}, 100); err == nil {
+		t.Error("Saturated nil station should error")
+	}
+	if src, err := NewPoissonSource(st, MAC{2}, 100, 50, rng.New(1)); err != nil {
+		t.Errorf("valid Poisson: %v", err)
+	} else if err := src.Start(); err != nil {
+		t.Errorf("valid Poisson Start: %v", err)
+	}
 }
 
 func TestSaturatedSourceKeepsBacklog(t *testing.T) {
