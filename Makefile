@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint race fuzz bench metrics-golden check
+.PHONY: all build vet test lint race fuzz bench metrics-golden chaos faults-golden check
 
 all: check
 
@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeLongRange -fuzztime=10s ./internal/uplink/
 	$(GO) test -fuzz=FuzzParsePayload -fuzztime=10s ./internal/downlink/
 	$(GO) test -fuzz=FuzzMessageRoundTrip -fuzztime=10s ./internal/downlink/
+	$(GO) test -fuzz=FuzzScheduleCodec -fuzztime=10s ./internal/faults/
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -46,4 +47,17 @@ bench:
 metrics-golden:
 	$(GO) test ./internal/eval/ -run 'TestMetricsGolden|TestMetricsWorkerInvariance'
 
-check: vet build lint race fuzz metrics-golden
+# Chaos suite: every built-in fault profile driven through the real uplink,
+# downlink and transaction pipelines under the race detector, plus the
+# backoff/ARF behaviour under injected loss. See README "Fault injection".
+chaos:
+	$(GO) test -race ./internal/faults/... ./internal/core/... ./internal/wifi/...
+
+# Pins the fault-injection observability contract (wbbench -faults):
+# faulted-sweep metrics must match testdata/faults_golden.json byte for
+# byte at every -workers value. Regenerate an intentional change with
+# `go test ./internal/eval/ -run TestFaultsGolden -update`.
+faults-golden:
+	$(GO) test ./internal/eval/ -run 'TestFaultsGolden|TestFaultsWorkerInvariance'
+
+check: vet build lint race fuzz metrics-golden chaos faults-golden

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	wbbench [-quick] [-seed N] [-workers N] [-only fig10a,fig17,...] [-compare]
-//	        [-metrics out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	        [-faults profile|spec] [-metrics out.json]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Without flags it runs the full paper-scale suite (minutes); -quick runs
 // a reduced version of every experiment in seconds. -workers bounds the
@@ -13,11 +14,18 @@
 // experiments twice — serial then parallel — verifies the outputs match,
 // and reports the wall-clock speedup.
 //
+// -faults injects a deterministic impairment schedule into every trial
+// system: either a named profile ("lossy", "chaos", ..., optionally with
+// an intensity as in "chaos:0.5") or an explicit schedule like
+// "burst@0:2x0.7;fade@1:3x0.5" (see internal/faults). The injected
+// randomness draws from a dedicated per-trial stream, so faulted runs
+// stay bit-identical across -workers values.
+//
 // -metrics writes the suite's aggregated pipeline metrics (decoder,
 // medium, engine counters from every instrumented experiment) as
-// deterministic JSON: the bytes depend only on seed and experiment
-// selection, not on -workers or wall-clock. -cpuprofile and -memprofile
-// write standard runtime/pprof profiles for `go tool pprof`.
+// deterministic JSON: the bytes depend only on seed, experiment
+// selection, and -faults, not on -workers or wall-clock. -cpuprofile and
+// -memprofile write standard runtime/pprof profiles for `go tool pprof`.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -40,6 +49,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig10a,fig17); empty runs all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	compare := flag.Bool("compare", false, "run serial then parallel, verify identical output, report speedup")
+	faultsSpec := flag.String("faults", "", "fault profile or schedule for every trial (see wbbench doc; empty = clean channel)")
 	metricsFile := flag.String("metrics", "", "write aggregated pipeline metrics as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -60,6 +70,14 @@ func main() {
 	}
 
 	suite := eval.Suite{Seed: *seed, Quick: *quick, Workers: *workers, Progress: os.Stderr}
+	if *faultsSpec != "" {
+		sched, err := faults.ParseSpec(*faultsSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wbbench:", err)
+			os.Exit(1)
+		}
+		suite.Faults = sched
+	}
 	if *metricsFile != "" {
 		suite.Metrics = obs.NewRegistry()
 	}

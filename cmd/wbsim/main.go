@@ -5,7 +5,12 @@
 // Usage:
 //
 //	wbsim [-tag-dist cm] [-helper-dist m] [-rate bps] [-data hex] [-seed N]
-//	      [-metrics out.json]
+//	      [-faults profile|spec] [-metrics out.json]
+//
+// -faults impairs the channel with a deterministic fault schedule: a named
+// profile ("lossy", "chaos:0.5", ...) or an explicit schedule such as
+// "burst@0:2x0.7;fade@1:3x0.5" (see internal/faults). The printed outcome
+// then includes the per-query fault verdict and backoff spent.
 //
 // -metrics writes the deployment's pipeline metrics (engine, medium,
 // decoder, encoder, transaction counters) as deterministic JSON after the
@@ -19,6 +24,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/reader"
 	"repro/internal/units"
 	"repro/internal/wifi"
@@ -32,6 +38,7 @@ type options struct {
 	helperRate  float64
 	data        uint64
 	seed        int64
+	faultsSpec  string
 	metricsFile string
 }
 
@@ -43,6 +50,7 @@ func main() {
 	flag.Float64Var(&opts.helperRate, "helper-rate", 1000, "helper traffic in packets/s")
 	flag.Uint64Var(&opts.data, "data", 0xBEEF00C0FFEE, "48-bit tag payload to report")
 	flag.Int64Var(&opts.seed, "seed", 1, "random seed")
+	flag.StringVar(&opts.faultsSpec, "faults", "", "fault profile or schedule to impair the channel (empty = clean)")
 	flag.StringVar(&opts.metricsFile, "metrics", "", "write pipeline metrics as JSON to this file")
 	flag.Parse()
 
@@ -65,13 +73,21 @@ func run(out io.Writer, opts options) error {
 	if opts.helperRate <= 0 {
 		return fmt.Errorf("-helper-rate must be positive (got %g)", opts.helperRate)
 	}
+	sched, err := faults.ParseSpec(opts.faultsSpec)
+	if err != nil {
+		return err
+	}
 	sys, err := core.NewSystem(core.Config{
 		Seed:              opts.seed,
 		TagReaderDistance: units.Centimeters(opts.tagDist),
 		HelperTagDistance: units.Meters(opts.helperDist),
+		Faults:            sched,
 	})
 	if err != nil {
 		return err
+	}
+	if sched != nil && !sched.Empty() {
+		fmt.Fprintf(out, "fault schedule: %s\n", sched)
 	}
 	fmt.Fprintf(out, "deployment: tag %.0f cm from reader, helper %.1f m away, %.0f pkt/s\n",
 		opts.tagDist, opts.helperDist, opts.helperRate)
@@ -90,9 +106,13 @@ func run(out io.Writer, opts options) error {
 		return err
 	}
 	fmt.Fprintf(out, "query: cmd=%d tag=%#04x rate=%d bps\n", q.Command, q.TagID, q.BitRate)
-	fmt.Fprintf(out, "attempts: %d\n", res.Attempts)
+	fmt.Fprintf(out, "attempts: %d (backoff %.1f ms)\n", res.Attempts, res.BackoffTotal*1e3)
 	fmt.Fprintf(out, "downlink (reader→tag): decoded=%v heard=%+v\n", res.TagDecoded, res.TagHeard)
 	fmt.Fprintf(out, "uplink (tag→reader):  ok=%v correlation=%.2f\n", res.ResponseOK, res.ResponseCorrelation)
+	if res.Faults.Injected > 0 {
+		fmt.Fprintf(out, "faults: %d injected %v survived=%v\n",
+			res.Faults.Injected, res.Faults.Kinds, res.Faults.Survived)
+	}
 	if !res.ResponseOK {
 		return fmt.Errorf("transaction failed: no decodable response")
 	}

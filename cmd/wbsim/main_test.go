@@ -30,6 +30,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"negative helper rate", func(o *options) { o.helperRate = -10 }},
 		{"zero tag distance", func(o *options) { o.tagDist = 0 }},
 		{"negative helper distance", func(o *options) { o.helperDist = -1 }},
+		{"unknown fault profile", func(o *options) { o.faultsSpec = "earthquake" }},
+		{"malformed fault schedule", func(o *options) { o.faultsSpec = "zap@0:1x1" }},
+		{"fault intensity out of range", func(o *options) { o.faultsSpec = "burst@0:1x2" }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -55,6 +58,30 @@ func TestRunCompletesTransaction(t *testing.T) {
 	for _, want := range []string{
 		"uplink modulation depth:",
 		"tag reported: 0xbeef00c0ffee",
+		"round trip complete: payload verified",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "fault schedule:") {
+		t.Errorf("clean run printed a fault schedule:\n%s", text)
+	}
+}
+
+func TestRunFaultedTransactionStillCompletes(t *testing.T) {
+	// The lossy profile at half intensity is within the default
+	// deployment's retry budget: the transaction must still complete, and
+	// the output must surface the schedule that was applied.
+	opts := goodOpts()
+	opts.faultsSpec = "lossy:0.5"
+	var out bytes.Buffer
+	if err := run(&out, opts); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"fault schedule:",
 		"round trip complete: payload verified",
 	} {
 		if !strings.Contains(text, want) {

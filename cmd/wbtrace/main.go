@@ -6,8 +6,12 @@
 // Usage:
 //
 //	wbtrace [-tag-dist cm] [-packets N] [-what csi|rssi|frames] [-seed N]
-//	        [-metrics out.json] > out
+//	        [-faults profile|spec] [-metrics out.json] > out
 //	wbtrace -summarize trace.wbt
+//
+// -faults impairs the captured channel with a deterministic fault schedule
+// (named profile like "lossy" or explicit spec; see internal/faults), so
+// decoder work on dirty traces is reproducible.
 //
 // -metrics writes the capture run's pipeline metrics (engine and medium
 // counters) as deterministic JSON alongside the trace.
@@ -24,6 +28,7 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/tag"
 	"repro/internal/units"
 	"repro/internal/wifi"
@@ -35,6 +40,7 @@ func main() {
 	what := flag.String("what", "csi", "csi, rssi (CSV) or frames (binary capture)")
 	seed := flag.Int64("seed", 1, "random seed")
 	summarize := flag.String("summarize", "", "summarize an existing frame capture and exit")
+	faultsSpec := flag.String("faults", "", "fault profile or schedule to impair the capture (empty = clean)")
 	metricsFile := flag.String("metrics", "", "write pipeline metrics as JSON to this file")
 	flag.Parse()
 
@@ -45,7 +51,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(os.Stdout, *tagDist, *packets, *what, *seed, *metricsFile); err != nil {
+	if err := run(os.Stdout, *tagDist, *packets, *what, *seed, *faultsSpec, *metricsFile); err != nil {
 		fmt.Fprintln(os.Stderr, "wbtrace:", err)
 		os.Exit(1)
 	}
@@ -78,7 +84,7 @@ func summarizeFile(out io.Writer, path string) error {
 	return nil
 }
 
-func run(out io.Writer, tagDist float64, packets int, what string, seed int64, metricsFile string) error {
+func run(out io.Writer, tagDist float64, packets int, what string, seed int64, faultsSpec, metricsFile string) error {
 	if packets <= 0 {
 		return fmt.Errorf("-packets must be positive (got %d)", packets)
 	}
@@ -90,9 +96,14 @@ func run(out io.Writer, tagDist float64, packets int, what string, seed int64, m
 	default:
 		return fmt.Errorf("unknown -what %q (use csi, rssi, or frames)", what)
 	}
+	sched, err := faults.ParseSpec(faultsSpec)
+	if err != nil {
+		return err
+	}
 	sys, err := core.NewSystem(core.Config{
 		Seed:              seed,
 		TagReaderDistance: units.Centimeters(tagDist),
+		Faults:            sched,
 	})
 	if err != nil {
 		return err

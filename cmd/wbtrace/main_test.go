@@ -26,7 +26,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var out bytes.Buffer
-			err := run(&out, tc.tagDist, tc.packets, tc.what, 1, "")
+			err := run(&out, tc.tagDist, tc.packets, tc.what, 1, "", "")
 			if err == nil {
 				t.Fatalf("run(%g, %d, %q) succeeded, want error", tc.tagDist, tc.packets, tc.what)
 			}
@@ -41,7 +41,7 @@ func TestRunEmitsCSV(t *testing.T) {
 	for _, what := range []string{"csi", "rssi"} {
 		t.Run(what, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := run(&out, 5, 50, what, 1, ""); err != nil {
+			if err := run(&out, 5, 50, what, 1, "", ""); err != nil {
 				t.Fatal(err)
 			}
 			lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -57,7 +57,7 @@ func TestRunEmitsCSV(t *testing.T) {
 
 func TestFramesRoundTripThroughSummarize(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, 5, 50, "frames", 1, ""); err != nil {
+	if err := run(&out, 5, 50, "frames", 1, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	recs, err := capture.NewReader(bytes.NewReader(out.Bytes())).ReadAll()

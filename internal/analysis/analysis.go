@@ -103,6 +103,13 @@ type Config struct {
 	// FloatScope lists package-path prefixes where floatsafe applies (the
 	// DSP/decoder/eval code operating on measurement series).
 	FloatScope []string
+	// RngRootDeny lists packages forbidden from minting rng root streams
+	// (rng.New, rng.TrialStream). These packages must be handed a
+	// *rng.Stream by the composition root — core derives the fault
+	// injector's stream from TrialSeed(seed, salt) so it can never collide
+	// with or perturb the draws other subsystems consume; a locally minted
+	// root would reintroduce exactly that coupling.
+	RngRootDeny []string
 }
 
 // DefaultConfig returns the repository's wblint policy.
@@ -114,7 +121,7 @@ func DefaultConfig() *Config {
 			// Duration reporting only: wbbench prints wall-clock speedups
 			// and eval.Suite.Run prints per-experiment progress timing.
 			// Seeds and trial outcomes never derive from these clocks.
-			mod + "/cmd/wbbench.runCompare": true,
+			mod + "/cmd/wbbench.runCompare":  true,
 			mod + "/internal/eval.Suite.Run": true,
 		},
 		RandAllow: map[string]bool{
@@ -135,6 +142,11 @@ func DefaultConfig() *Config {
 			mod + "/internal/reader",
 			mod + "/internal/inventory",
 		},
+		RngRootDeny: []string{
+			// The fault injector receives its stream from core (see
+			// core.Config.Faults); it must never mint its own root.
+			mod + "/internal/faults",
+		},
 	}
 }
 
@@ -147,6 +159,21 @@ func (c *Config) inFloatScope(pkgPath string) bool {
 	}
 	for _, p := range c.FloatScope {
 		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// rngRootDenied reports whether DT004 applies to a package path. Fixture
+// packages (under a testdata directory) are always denied so the check can
+// be exercised by tests, mirroring inFloatScope.
+func (c *Config) rngRootDenied(pkgPath string) bool {
+	if strings.Contains(pkgPath, "/testdata/") {
+		return true
+	}
+	for _, p := range c.RngRootDeny {
+		if pkgPath == p {
 			return true
 		}
 	}

@@ -18,6 +18,7 @@ var DeterminismAnalyzer = &Analyzer{
 		{"DT001", "wall-clock read (time.Now/Since/Until) outside the duration-reporting allowlist"},
 		{"DT002", "math/rand imported outside internal/rng; use seeded internal/rng streams"},
 		{"DT003", "map iteration feeds output; iterate a sorted key slice instead"},
+		{"DT004", "rng root minted (rng.New/rng.TrialStream) in a package that must receive its stream"},
 	},
 	Run: runDeterminism,
 }
@@ -43,16 +44,20 @@ func runDeterminism(p *Pass) {
 				}
 			}
 		}
+		rngDenied := p.Config.rngRootDenied(pkgPath)
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if ok && fn.Body != nil {
-				p.checkFuncDeterminism(pkgPath, fn)
+				p.checkFuncDeterminism(pkgPath, fn, rngDenied)
 				continue
 			}
 			// Package-level initializers never get a wall-clock pass.
 			ast.Inspect(decl, func(n ast.Node) bool {
 				if call, ok := n.(*ast.CallExpr); ok {
 					p.checkWallClock(call, false)
+					if rngDenied {
+						p.checkRngRoot(call)
+					}
 				}
 				return true
 			})
@@ -60,18 +65,45 @@ func runDeterminism(p *Pass) {
 	}
 }
 
-// checkFuncDeterminism walks one function body for DT001 and DT003.
-func (p *Pass) checkFuncDeterminism(pkgPath string, fn *ast.FuncDecl) {
+// checkFuncDeterminism walks one function body for DT001, DT003, and
+// (in rng-root-denied packages) DT004.
+func (p *Pass) checkFuncDeterminism(pkgPath string, fn *ast.FuncDecl, rngDenied bool) {
 	allowed := p.Config.WallClockAllow[funcKey(pkgPath, fn)]
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			p.checkWallClock(n, allowed)
+			if rngDenied {
+				p.checkRngRoot(n)
+			}
 		case *ast.RangeStmt:
 			p.checkMapRangeOutput(n)
 		}
 		return true
 	})
+}
+
+// rngRootFuncs name the internal/rng entry points that mint a fresh root
+// stream from a bare seed (as opposed to deriving from an existing
+// stream via Split).
+var rngRootFuncs = map[string]bool{"New": true, "TrialStream": true}
+
+// checkRngRoot reports DT004 for rng.New/rng.TrialStream calls: a package
+// on the deny list (e.g. internal/faults) must be handed its stream by
+// the composition root, because a locally minted root can silently share
+// or perturb the sequences other subsystems draw — exactly the coupling
+// the fault injector's determinism contract rules out.
+func (p *Pass) checkRngRoot(call *ast.CallExpr) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Path() != p.Config.ModulePath+"/internal/rng" || !rngRootFuncs[fn.Name()] {
+		return
+	}
+	p.Reportf(call.Pos(), "DT004",
+		"rng.%s mints a root stream inside a package that must receive its stream from the caller (see Config.RngRootDeny)",
+		fn.Name())
 }
 
 // checkWallClock reports DT001 for clock reads unless the enclosing

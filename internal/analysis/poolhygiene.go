@@ -51,13 +51,13 @@ type poolCheck struct {
 
 // trackedBuf is one pool-owned variable inside a function.
 type trackedBuf struct {
-	obj     *types.Var
-	getPos  token.Pos
-	escape  token.Pos // first escape site, if any
+	obj        *types.Var
+	getPos     token.Pos
+	escape     token.Pos // first escape site, if any
 	escapeWhat string
-	puts    []putSite
-	uses    []useSite
-	dropped token.Pos // overwritten without release
+	puts       []putSite
+	uses       []useSite
+	dropped    token.Pos // overwritten without release
 }
 
 type putSite struct {

@@ -8,12 +8,14 @@ import (
 	"math/rand" // want "DT002"
 	"sort"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // wallClock reads the clock outside the allowlist.
 func wallClock() float64 {
-	t0 := time.Now()          // want "DT001"
-	d := time.Since(t0)       // want "DT001"
+	t0 := time.Now()    // want "DT001"
+	d := time.Since(t0) // want "DT001"
 	return d.Seconds() + rand.Float64()
 }
 
@@ -34,6 +36,29 @@ func sortedOutput(counts map[string]int) {
 	for _, k := range keys {
 		fmt.Println(k, counts[k])
 	}
+}
+
+// mintedRoots builds rng root streams locally in a package that must be
+// handed its stream by the composition root.
+func mintedRoots() float64 {
+	s := rng.New(1)            // want "DT004"
+	u := rng.TrialStream(1, 2) // want "DT004"
+	return s.Float64() + u.Float64()
+}
+
+// packageRoot mints a root in a package-level initializer.
+var packageRoot = rng.New(7) // want "DT004"
+
+// injectedStream receives its stream and derives children with Split:
+// clean — deriving is sanctioned, minting is not.
+func injectedStream(s *rng.Stream) float64 {
+	return s.Split("local").Float64()
+}
+
+// seedArithmetic uses TrialSeed without minting a stream: clean — the
+// composition root may be handed a derived seed.
+func seedArithmetic(base int64, trial int) int64 {
+	return rng.TrialSeed(base, trial)
 }
 
 // mapAccumulate ranges a map without emitting output: clean (the sum is

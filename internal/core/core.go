@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/csi"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/rng"
@@ -57,6 +58,13 @@ type Config struct {
 	// from every station's packets, not only the helper's (§5:
 	// "leveraging traffic from all Wi-Fi devices").
 	MeasureAllStations bool
+	// Faults, when non-nil and non-empty, injects the scheduled
+	// impairments into the medium, the measurement path, both codecs, and
+	// the tag decoder. The injector's randomness derives from Seed (via
+	// rng.TrialSeed with a fixed salt), never from the streams the clean
+	// pipeline consumes, so a schedule whose windows all have intensity
+	// zero replays the clean run bit-for-bit.
+	Faults *faults.Schedule
 }
 
 // withDefaults fills zero fields.
@@ -103,6 +111,7 @@ type System struct {
 	obs        *obs.Registry
 	rnd        *rng.Stream
 	envStream  *rng.Stream
+	faults     *faults.Injector
 	mods       []*tag.Modulator // per-tag active transmission (nil = idle)
 	states     []bool           // scratch buffer for Observe
 	series     csi.Series
@@ -154,6 +163,19 @@ func NewSystem(cfg Config) (*System, error) {
 		mods:       make([]*tag.Modulator, 1),
 		states:     make([]bool, 1),
 	}
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		// The injector gets its own stream derived from the seed by a
+		// bijective mix, NOT by splitting rnd: a Split here would advance
+		// rnd and perturb every stream created after it, breaking the
+		// clean-run equivalence of zero-intensity schedules.
+		inj, err := faults.NewInjector(cfg.Faults, rng.New(rng.TrialSeed(cfg.Seed, faultStreamSalt)))
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		inj.Instrument(reg)
+		s.faults = inj
+		medium.Impair = inj
+	}
 	s.Helper = medium.AddStation("helper", wifi.MAC{0x02, 0, 0, 0, 0, 1}, wifi.Rate54)
 	s.Reader = medium.AddStation("reader", wifi.MAC{0x02, 0, 0, 0, 0, 2}, wifi.Rate54)
 	s.placements[s.Helper] = placement{power: cfg.HelperPower, distance: cfg.HelperTagDistance}
@@ -188,10 +210,27 @@ func NewSystem(cfg Config) (*System, error) {
 			// a bug in this file, not reachable from user input.
 			panic(herr)
 		}
-		s.series.Append(s.Card.Measure(at, h))
+		// Fades attenuate the observed channel before the card measures
+		// it; measurement corruption runs after, so the card's own noise
+		// stream stays aligned with the clean run.
+		s.faults.AttenuateChannel(at, h)
+		m := s.Card.Measure(at, h)
+		if s.faults.CorruptMeasurement(at, &m) {
+			return // the flaky capture path dropped this packet's report
+		}
+		s.series.Append(m)
 	})
 	return s, nil
 }
+
+// faultStreamSalt derives the fault injector's rng root from the system
+// seed (an arbitrary odd constant; see NewSystem).
+const faultStreamSalt = 0x66_6C_74_73 // "flts"
+
+// FaultInjector returns the system's fault injector, or nil when the
+// config carried no fault schedule. The injector's Tally attributes
+// injected events to run phases.
+func (s *System) FaultInjector() *faults.Injector { return s.faults }
 
 // Config returns the (defaulted) configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -274,6 +313,9 @@ func (s *System) UplinkDecoder(bitRate float64) (*uplink.Decoder, error) {
 		return nil, err
 	}
 	dec.Instrument(s.obs)
+	if s.faults != nil {
+		dec.Impair = s.faults
+	}
 	return dec, nil
 }
 

@@ -83,6 +83,10 @@ func (s *System) DecodeDownlinkWindow(start, dur, bitDuration float64) (*Downlin
 	if err != nil {
 		return nil, err
 	}
+	// Injected clock drift skews the tag's idea of the bit period: its RC
+	// oscillator samples mid-bit positions that creep across the real
+	// slots, which is exactly how a cheap tag clock fails.
+	bitDuration *= 1 + s.faults.ClockDrift(start)
 	dec, err := tag.NewDecoder(bitDuration)
 	if err != nil {
 		return nil, err

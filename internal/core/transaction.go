@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/downlink"
 	"repro/internal/reader"
@@ -11,7 +12,21 @@ import (
 // This file implements the full request-response transaction of §2: the
 // reader queries the tag on the downlink (packet presence/absence inside a
 // CTS_to_SELF) and the tag answers on the uplink (channel modulation over
-// the helper's packets), with reader-side retransmission (§4.1).
+// the helper's packets), with reader-side retransmission (§4.1) paced by
+// bounded exponential backoff — hammering the channel again immediately
+// after a timeout is exactly wrong when the failure came from a burst
+// interferer or a fade that needs time to pass.
+
+// FaultVerdict attributes injected faults to one transaction.
+type FaultVerdict struct {
+	// Injected counts fault events injected while the transaction ran.
+	Injected int64
+	// Kinds lists the fault kinds that fired, sorted.
+	Kinds []string
+	// Survived reports that the transaction completed despite at least
+	// one injected fault.
+	Survived bool
+}
 
 // QueryResult reports one transaction's outcome.
 type QueryResult struct {
@@ -31,6 +46,12 @@ type QueryResult struct {
 	// ResponseCorrelation is the uplink preamble correlation of the
 	// final attempt.
 	ResponseCorrelation float64
+	// BackoffTotal is the time this transaction spent waiting in
+	// retransmission backoff, seconds.
+	BackoffTotal float64
+	// Faults is the per-query fault verdict (zero when the system runs
+	// without a fault schedule).
+	Faults FaultVerdict
 }
 
 // TransactionConfig tunes the round trip.
@@ -45,6 +66,15 @@ type TransactionConfig struct {
 	ResponseTimeout float64
 	// MaxAttempts bounds retransmissions.
 	MaxAttempts int
+	// BackoffBase is the wait added after the first failed attempt;
+	// subsequent failures multiply it by BackoffFactor, capped at
+	// BackoffMax. Zero disables backoff (retry exactly at the timeout).
+	BackoffBase float64
+	// BackoffFactor is the exponential growth factor (values below 1 are
+	// treated as the default 2).
+	BackoffFactor float64
+	// BackoffMax caps a single backoff wait. Zero means uncapped.
+	BackoffMax float64
 }
 
 // DefaultTransactionConfig returns sane timings for a 100 bps uplink.
@@ -54,14 +84,44 @@ func DefaultTransactionConfig() TransactionConfig {
 		Turnaround:          0.02,
 		ResponseTimeout:     3.0,
 		MaxAttempts:         5,
+		BackoffBase:         0.025,
+		BackoffFactor:       2,
+		BackoffMax:          0.4,
 	}
+}
+
+// backoffAfter returns the wait inserted after the given failed attempt
+// (1-based). Attempt n waits Base·Factor^(n−1), capped at Max.
+func (tc TransactionConfig) backoffAfter(attempt int) float64 {
+	if tc.BackoffBase <= 0 || attempt <= 0 {
+		return 0
+	}
+	factor := tc.BackoffFactor
+	if factor < 1 {
+		factor = 2
+	}
+	b := tc.BackoffBase * math.Pow(factor, float64(attempt-1))
+	if tc.BackoffMax > 0 && b > tc.BackoffMax {
+		b = tc.BackoffMax
+	}
+	return b
+}
+
+// maxBackoffTotal is the largest backoff a full retry ladder can spend.
+func (tc TransactionConfig) maxBackoffTotal() float64 {
+	var sum float64
+	for i := 1; i < tc.MaxAttempts; i++ {
+		sum += tc.backoffAfter(i)
+	}
+	return sum
 }
 
 // RunQuery executes a full transaction: the reader sends q on the
 // downlink; if the tag decodes it, the tag responds with tagData (48 bits)
 // at the query's advised bit rate; the reader decodes the response from
 // its channel measurements. Helper traffic must already be running and the
-// engine is advanced internally.
+// engine is advanced internally. Failed attempts retransmit after the
+// response timeout plus an exponential backoff (see TransactionConfig).
 func (s *System) RunQuery(q reader.Query, tagData uint64, tc TransactionConfig) (*QueryResult, error) {
 	if q.BitRate == 0 {
 		return nil, fmt.Errorf("core: query must advise a bit rate")
@@ -75,7 +135,11 @@ func (s *System) RunQuery(q reader.Query, tagData uint64, tc TransactionConfig) 
 		return nil, err
 	}
 	enc.Instrument(s.obs)
+	if s.faults != nil {
+		enc.Impair = s.faults
+	}
 	txnStart := s.Eng.Now()
+	tallyStart := s.faults.Tally()
 	chunks := enc.Plan(q.Encode().Bits())
 	if len(chunks) != 1 {
 		return nil, fmt.Errorf("core: query does not fit one reservation (%d chunks)", len(chunks))
@@ -85,11 +149,18 @@ func (s *System) RunQuery(q reader.Query, tagData uint64, tc TransactionConfig) 
 	tr.MaxAttempts = tc.MaxAttempts
 	done := false
 
-	var attempt func()
-	attempt = func() {
+	// attempt runs one try; backoff is the wait this try spent queued
+	// behind its predecessor's failure (0 for the first).
+	var attempt func(backoff float64)
+	attempt = func(backoff float64) {
 		if done || !tr.NextAttempt() {
 			done = true
 			return
+		}
+		if backoff > 0 {
+			res.BackoffTotal += backoff
+			s.obs.Counter("txn.backoffs").Inc()
+			s.obs.Timer("txn.backoff_s").Observe(backoff)
 		}
 		res.Attempts = tr.Attempts
 		s.obs.Counter("txn.attempts").Inc()
@@ -145,15 +216,32 @@ func (s *System) RunQuery(q reader.Query, tagData uint64, tc TransactionConfig) 
 			done = true
 			return
 		}
-		// Retry after the timeout if not complete.
-		s.Eng.ScheduleAt(deadline, func() {
+		// Retry after the timeout plus backoff if not complete. The wait
+		// is computed from the attempt that just ran: its failure is what
+		// the backoff answers.
+		wait := tc.backoffAfter(tr.Attempts)
+		s.Eng.ScheduleAt(deadline+wait, func() {
 			if !done {
-				attempt()
+				attempt(wait)
 			}
 		})
 	}
-	s.Eng.Schedule(0, attempt)
-	horizon := s.Eng.Now() + float64(tc.MaxAttempts+1)*tc.ResponseTimeout
+	s.Eng.Schedule(0, func() { attempt(0) })
+	horizon := s.Eng.Now() + float64(tc.MaxAttempts+1)*tc.ResponseTimeout + tc.maxBackoffTotal()
 	s.Eng.Run(horizon)
+	if s.faults != nil {
+		delta := s.faults.Tally().Sub(tallyStart)
+		res.Faults = FaultVerdict{
+			Injected: delta.Total(),
+			Kinds:    delta.ActiveKinds(),
+			Survived: res.ResponseOK && delta.Total() > 0,
+		}
+		if delta.Total() > 0 {
+			s.obs.Counter("txn.faulted").Inc()
+			if res.ResponseOK {
+				s.obs.Counter("txn.survived_faults").Inc()
+			}
+		}
+	}
 	return res, nil
 }

@@ -27,20 +27,35 @@ type Encoder struct {
 	// been consumed: the chunk index and the scheduling error. The send
 	// is aborted (no further markers or chunks) either way.
 	OnError func(chunk int, err error)
+	// Impair, when non-nil, suppresses individual marker frames (query
+	// corruption; core wires the fault injector here). A suppressed
+	// marker leaves its bit slot silent, flipping that downlink bit at
+	// the tag.
+	Impair MarkerImpairment
 
 	met encoderMetrics
+}
+
+// MarkerImpairment lets a fault layer suppress marker packets (see
+// internal/faults). MarkerLost is asked once per planned marker with the
+// chunk index and the marker's absolute on-air time; returning true drops
+// it. Implementations must be deterministic and must draw only from their
+// own randomness stream.
+type MarkerImpairment interface {
+	MarkerLost(chunk int, at float64) bool
 }
 
 // encoderMetrics holds the encoder's obs handles; the zero value means
 // "not instrumented" (nil handles no-op).
 type encoderMetrics struct {
-	chunksPlanned *obs.Counter
-	chunksSent    *obs.Counter
-	markersSent   *obs.Counter
-	navGrants     *obs.Counter
-	navErrors     *obs.Counter
-	sendsAborted  *obs.Counter
-	window        *obs.Timer
+	chunksPlanned     *obs.Counter
+	chunksSent        *obs.Counter
+	markersSent       *obs.Counter
+	markersSuppressed *obs.Counter
+	navGrants         *obs.Counter
+	navErrors         *obs.Counter
+	sendsAborted      *obs.Counter
+	window            *obs.Timer
 }
 
 // Instrument registers the encoder's downlink accounting on r
@@ -50,13 +65,14 @@ type encoderMetrics struct {
 // nil registry detaches the metrics.
 func (e *Encoder) Instrument(r *obs.Registry) {
 	e.met = encoderMetrics{
-		chunksPlanned: r.Counter("downlink.chunks_planned"),
-		chunksSent:    r.Counter("downlink.chunks_sent"),
-		markersSent:   r.Counter("downlink.markers_sent"),
-		navGrants:     r.Counter("downlink.nav_grants"),
-		navErrors:     r.Counter("downlink.nav_errors"),
-		sendsAborted:  r.Counter("downlink.sends_aborted"),
-		window:        r.Timer("downlink.window_s"),
+		chunksPlanned:     r.Counter("downlink.chunks_planned"),
+		chunksSent:        r.Counter("downlink.chunks_sent"),
+		markersSent:       r.Counter("downlink.markers_sent"),
+		markersSuppressed: r.Counter("downlink.markers_suppressed"),
+		navGrants:         r.Counter("downlink.nav_grants"),
+		navErrors:         r.Counter("downlink.nav_errors"),
+		sendsAborted:      r.Counter("downlink.sends_aborted"),
+		window:            r.Timer("downlink.window_s"),
 	}
 }
 
@@ -162,6 +178,10 @@ func (e *Encoder) Send(m *wifi.Medium, st *wifi.Station, chunks []Chunk, onWindo
 			st.OnNAVGranted = nil
 			e.met.navGrants.Inc()
 			for _, off := range c.PacketOffsets {
+				if e.Impair != nil && e.Impair.MarkerLost(i, start+off) {
+					e.met.markersSuppressed.Inc()
+					continue
+				}
 				if err := m.TransmitInNAV(st, e.markerFrame(), e.Rate, start+off); err != nil {
 					// The closure runs long after Send returned, so the
 					// error cannot use Send's return path: record it,

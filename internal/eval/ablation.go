@@ -88,6 +88,7 @@ func runUplinkAblation(t *Table, variants []uplink.Variant, opt Options, bursty 
 				Config: core.Config{
 					Seed:              opt.Seed + int64(trial)*8009 + int64(cm)*7,
 					TagReaderDistance: units.Centimeters(cm),
+					Faults:            opt.Faults,
 				},
 				BitRate:                helperRate / 30,
 				HelperPacketsPerSecond: helperRate,

@@ -35,6 +35,7 @@ func ChannelSweep(opt Options) (*Table, error) {
 				Seed:              opt.Seed + int64(trial)*9001 + int64(ch),
 				TagReaderDistance: units.Centimeters(30),
 				Channel:           &chCfg,
+				Faults:            opt.Faults,
 			},
 			BitRate:                helperRate / 30,
 			HelperPacketsPerSecond: helperRate,
@@ -79,6 +80,7 @@ func AckDetection(opt Options) (*Table, error) {
 			sys, err := core.NewSystem(core.Config{
 				Seed:              opt.Seed + int64(trial)*11003 + int64(cm),
 				TagReaderDistance: units.Centimeters(cm),
+				Faults:            opt.Faults,
 			})
 			if err != nil {
 				return outcome{}, err

@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/units"
+)
+
+// This file sweeps full query/response transactions over a fault-intensity
+// ladder: the paper's retransmission argument (§4.1 — the reader simply
+// repeats the query until the tag answers) only matters on a lossy channel,
+// so we make the channel lossy on purpose and report how the attempt and
+// backoff budgets absorb it.
+
+// FaultIntensities is the intensity ladder swept by FaultResilience: the
+// base schedule is scaled by each value, so 0 is the clean channel and 1
+// the schedule as written.
+var FaultIntensities = []float64{0, 0.25, 0.5, 0.75, 1}
+
+// faultTrialSeedStride separates trial seeds in the resilience sweep.
+const faultTrialSeedStride = 13007
+
+// FaultResilience measures transaction success, retransmission attempts,
+// and backoff time across the fault-intensity ladder. The schedule is
+// opt.Faults when set, otherwise the built-in "lossy" profile (burst
+// interference plus fading). Every (intensity, trial) cell builds an
+// independent system, so the sweep parallelizes like every other
+// experiment and stays bit-identical across worker counts.
+func FaultResilience(opt Options) (*Table, error) {
+	opt = opt.withDefaults()
+	base := opt.Faults
+	if base == nil || base.Empty() {
+		var err error
+		base, err = faults.Profile("lossy", 1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Bound the per-trial worst case: a transaction that fails the whole
+	// ladder still finishes in a few simulated seconds.
+	txn := core.DefaultTransactionConfig()
+	txn.ResponseTimeout = 1.0
+	txn.MaxAttempts = 4
+
+	type cell struct {
+		ok, firstTry bool
+		attempts     int
+		backoff      float64
+		injected     int64
+		survived     bool
+		snap         *obs.Snapshot
+	}
+	scaled := make([]*faults.Schedule, len(FaultIntensities))
+	for i, f := range FaultIntensities {
+		scaled[i] = base.Scaled(f)
+	}
+	var cells []cell
+	err := parallel.Fold(opt.engine(), len(FaultIntensities)*opt.Trials, func(i int) (cell, error) {
+		ii := i / opt.Trials
+		trial := i % opt.Trials
+		res, err := core.RunTransactionTrial(core.TransactionTrialSpec{
+			// 250 bps at 35 cm is 4 packets per bit near the edge of CSI
+			// range (Fig. 10): clean transactions succeed first try, and
+			// injected loss shows up as retransmissions, not hard failure.
+			Config: core.Config{
+				Seed:              opt.Seed + int64(trial)*faultTrialSeedStride + int64(ii)*101,
+				TagReaderDistance: units.Centimeters(35),
+				Faults:            scaled[ii],
+			},
+			HelperPacketsPerSecond: helperRate,
+			BitRate:                250,
+			Data:                   0xFACE_0FF0_1234,
+			Txn:                    txn,
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		r := res.Result
+		return cell{
+			ok:       r.ResponseOK,
+			firstTry: r.ResponseOK && r.Attempts == 1,
+			attempts: r.Attempts,
+			backoff:  r.BackoffTotal,
+			injected: r.Faults.Injected,
+			survived: r.Faults.Survived,
+			snap:     res.Metrics,
+		}, nil
+	}, func(c cell) error {
+		opt.Obs.Merge(c.snap)
+		cells = append(cells, c)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Fault resilience: transactions on an impaired channel",
+		Note: "paper §4.1: the reader retransmits queries until the tag answers; " +
+			"success should degrade gracefully with fault intensity while " +
+			"attempts and backoff absorb the losses",
+		Columns: []string{"intensity", "success", "first-try", "mean attempts",
+			"mean backoff (ms)", "injected/txn", "survived"},
+	}
+	idx := 0
+	for _, f := range FaultIntensities {
+		var ok, first, survived int
+		var attempts int
+		var backoff float64
+		var injected int64
+		for trial := 0; trial < opt.Trials; trial++ {
+			c := cells[idx]
+			idx++
+			if c.ok {
+				ok++
+			}
+			if c.firstTry {
+				first++
+			}
+			if c.survived {
+				survived++
+			}
+			attempts += c.attempts
+			backoff += c.backoff
+			injected += c.injected
+		}
+		n := float64(opt.Trials)
+		t.AddRow(
+			fmt.Sprintf("%.2f", f),
+			fmt.Sprintf("%d/%d", ok, opt.Trials),
+			fmt.Sprintf("%d/%d", first, opt.Trials),
+			fmt.Sprintf("%.2f", float64(attempts)/n),
+			fmt.Sprintf("%.1f", backoff/n*1e3),
+			fmt.Sprintf("%.1f", float64(injected)/n),
+			fmt.Sprintf("%d/%d", survived, opt.Trials),
+		)
+	}
+	return t, nil
+}

@@ -1,0 +1,74 @@
+package eval
+
+// Fault-injection determinism tests: injected impairments draw from a
+// dedicated per-trial stream, so a faulted sweep must stay exactly as
+// deterministic as a clean one. Two tests pin that:
+//
+//   - TestFaultsWorkerInvariance renders the fault-resilience sweep (with
+//     the all-kinds chaos profile) at Workers=1 and Workers=8 and requires
+//     byte-identical metrics JSON.
+//   - TestFaultsGolden pins the exact bytes against
+//     testdata/faults_golden.json. Regenerate after an intentional change
+//     to the injector or transaction path with:
+//
+//	go test ./internal/eval/ -run TestFaultsGolden -update
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// faultsJSON runs the fault-resilience experiment under the chaos profile
+// (every fault kind active) at the given worker count and returns the
+// deterministic metrics JSON.
+func faultsJSON(t *testing.T, workers int) []byte {
+	t.Helper()
+	sched, err := faults.Profile("chaos", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := Suite{Seed: 7, Quick: true, Workers: workers, Metrics: obs.NewRegistry(), Faults: sched}
+	if err := suite.Run(io.Discard, map[string]bool{"faults": true}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := suite.Metrics.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFaultsWorkerInvariance is the property behind `wbbench -faults
+// <profile> -metrics`: identical schedule and seed must give byte-identical
+// aggregates at every worker count.
+func TestFaultsWorkerInvariance(t *testing.T) {
+	serial := faultsJSON(t, 1)
+	parallel := faultsJSON(t, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("faulted metrics differ between Workers=1 and Workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+func TestFaultsGolden(t *testing.T) {
+	got := faultsJSON(t, 4)
+	path := filepath.Join("testdata", "faults_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("faulted metrics differ from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -36,6 +36,7 @@ func MultiTagInventory(opt Options) (*Table, error) {
 			sys, err := core.NewSystem(core.Config{
 				Seed:              opt.Seed + int64(n)*37,
 				TagReaderDistance: units.Centimeters(12),
+				Faults:            opt.Faults,
 			})
 			if err != nil {
 				return run{}, err

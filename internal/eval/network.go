@@ -60,6 +60,7 @@ func HelperLocations(opt Options) (*Table, error) {
 				Seed:              opt.Seed + int64(trial)*5003 + int64(loc.Distance*10),
 				HelperTagDistance: loc.Distance,
 				HelperWalls:       loc.Walls,
+				Faults:            opt.Faults,
 			})
 			if err != nil {
 				return false, err
@@ -122,7 +123,8 @@ func AmbientTraffic(opt Options) (*Table, error) {
 		load := wifi.OfficeLoad(hour)
 		rate, err := achievableRate(eng, AmbientRates, func(rate float64, trial int) (int, int, error) {
 			sys, err := core.NewSystem(core.Config{
-				Seed: opt.Seed + int64(trial)*6007 + int64(hour)*31 + int64(rate),
+				Seed:   opt.Seed + int64(trial)*6007 + int64(hour)*31 + int64(rate),
+				Faults: opt.Faults,
 			})
 			if err != nil {
 				return 0, 0, err
@@ -185,7 +187,8 @@ func BeaconOnly(opt Options) (*Table, error) {
 			}
 			res, err := core.RunUplinkTrial(core.UplinkTrialSpec{
 				Config: core.Config{
-					Seed: opt.Seed + int64(trial)*7001 + int64(br)*3 + int64(rate),
+					Seed:   opt.Seed + int64(trial)*7001 + int64(br)*3 + int64(rate),
+					Faults: opt.Faults,
 				},
 				BitRate:                rate,
 				HelperPacketsPerSecond: br,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/units"
 )
@@ -29,14 +30,17 @@ type Suite struct {
 	// the suite's goroutine, so the aggregate is bit-identical for every
 	// Workers value.
 	Metrics *obs.Registry
+	// Faults, when non-nil, injects the fault schedule into every trial
+	// system (wbbench -faults; see internal/faults).
+	Faults *faults.Schedule
 }
 
 // options returns the trial options for the suite's scale.
 func (s Suite) options() Options {
 	if s.Quick {
-		return Options{Seed: s.Seed, Trials: 2, PayloadLen: 45, Workers: s.Workers, Obs: s.Metrics}
+		return Options{Seed: s.Seed, Trials: 2, PayloadLen: 45, Workers: s.Workers, Obs: s.Metrics, Faults: s.Faults}
 	}
-	return Options{Seed: s.Seed, Trials: 20, PayloadLen: 90, Workers: s.Workers, Obs: s.Metrics}
+	return Options{Seed: s.Seed, Trials: 20, PayloadLen: 90, Workers: s.Workers, Obs: s.Metrics, Faults: s.Faults}
 }
 
 // Experiment names one runnable experiment.
@@ -145,6 +149,9 @@ func (s Suite) Experiments() []Experiment {
 				secs = 1
 			}
 			return MACValidation(secs, s.Seed)
+		}},
+		{"faults", "transaction resilience under injected faults", func() (*Table, error) {
+			return FaultResilience(opt)
 		}},
 	}
 }

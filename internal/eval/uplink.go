@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/tag"
@@ -33,6 +34,10 @@ type Options struct {
 	// goroutine in trial-index order, so the aggregate is identical for
 	// every worker count.
 	Obs *obs.Registry
+	// Faults, when non-nil, applies the fault schedule to every trial
+	// system (see internal/faults). Each trial derives its injector
+	// stream from its own seed, so worker invariance is preserved.
+	Faults *faults.Schedule
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +100,7 @@ func UplinkBERvsDistance(mode core.DecodeMode, opt Options) (*Table, error) {
 			Config: core.Config{
 				Seed:              opt.Seed + int64(trial)*1009 + int64(j.cm)*13 + int64(j.ppb),
 				TagReaderDistance: units.Centimeters(j.cm),
+				Faults:            opt.Faults,
 			},
 			BitRate:                helperRate / j.ppb,
 			HelperPacketsPerSecond: helperRate,
@@ -164,6 +170,7 @@ func FrequencyDiversity(opt Options) (*Table, error) {
 				Config: core.Config{
 					Seed:              opt.Seed + int64(trial)*2003 + int64(cm)*17,
 					TagReaderDistance: units.Centimeters(cm),
+					Faults:            opt.Faults,
 				},
 				BitRate:                helperRate / 30,
 				HelperPacketsPerSecond: helperRate,
@@ -267,7 +274,8 @@ func RateVsHelperRate(opt Options) (*Table, error) {
 		rate, err := achievableRate(eng, StandardUplinkRates, func(rate float64, trial int) (int, int, error) {
 			res, err := core.RunUplinkTrial(core.UplinkTrialSpec{
 				Config: core.Config{
-					Seed: opt.Seed + int64(trial)*3001 + int64(hr) + int64(rate),
+					Seed:   opt.Seed + int64(trial)*3001 + int64(hr) + int64(rate),
+					Faults: opt.Faults,
 				},
 				BitRate:                rate,
 				HelperPacketsPerSecond: hr,
@@ -320,6 +328,7 @@ func CorrelationRange(opt Options) (*Table, error) {
 					Config: core.Config{
 						Seed:              opt.Seed + int64(trial)*4001 + int64(cm)*3 + int64(L),
 						TagReaderDistance: units.Centimeters(cm),
+						Faults:            opt.Faults,
 					},
 					BitRate:                500, // chip rate: 2 packets per chip
 					HelperPacketsPerSecond: helperRate,
@@ -538,6 +547,7 @@ func GoodSubchannels(opt Options) (*Table, error) {
 		sys, err := core.NewSystem(core.Config{
 			Seed:              opt.Seed + int64(cm)*101,
 			TagReaderDistance: units.Centimeters(cm),
+			Faults:            opt.Faults,
 		})
 		if err != nil {
 			return nil, err

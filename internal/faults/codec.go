@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the schedule codec: a compact text form for flags and a
+// JSON form for files. The text grammar is
+//
+//	schedule  = window *( ";" window )
+//	window    = kind "@" start ":" end "x" intensity
+//
+// e.g. "burst@0.5:2x0.8;fade@1:3x0.5". Start/end are seconds of simulated
+// time, intensity is in [0,1]. The separators were picked to survive both
+// shells and floats: '@', ':', ';' and 'x' never occur inside a Go float
+// literal ("1.5e-3", "-2"), so parsing needs no escaping. A string whose
+// first non-space byte is '[' or '{' is parsed as JSON instead (a bare
+// window array, or a {"windows": [...]} object).
+
+// Parse decodes a schedule from its text or JSON form. The empty string
+// yields an empty schedule. The result is always validated.
+func Parse(s string) (*Schedule, error) {
+	trimmed := strings.TrimSpace(s)
+	if trimmed == "" {
+		return &Schedule{}, nil
+	}
+	if trimmed[0] == '[' || trimmed[0] == '{' {
+		return parseJSON(trimmed)
+	}
+	if trimmed[0] == '"' {
+		// A JSON-quoted text form, as json.Marshal emits via MarshalText.
+		var inner string
+		if err := json.Unmarshal([]byte(trimmed), &inner); err != nil {
+			return nil, fmt.Errorf("faults: bad quoted schedule: %v", err)
+		}
+		return Parse(inner)
+	}
+	sched := &Schedule{}
+	for _, part := range strings.Split(trimmed, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := parseWindow(part)
+		if err != nil {
+			return nil, err
+		}
+		sched.Windows = append(sched.Windows, w)
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	return sched, nil
+}
+
+func parseWindow(part string) (Window, error) {
+	at := strings.IndexByte(part, '@')
+	if at < 0 {
+		return Window{}, fmt.Errorf("faults: window %q missing '@' (want kind@start:endxintensity)", part)
+	}
+	kind := Kind(strings.TrimSpace(part[:at]))
+	rest := part[at+1:]
+	x := strings.LastIndexByte(rest, 'x')
+	if x < 0 {
+		return Window{}, fmt.Errorf("faults: window %q missing 'x' intensity (want kind@start:endxintensity)", part)
+	}
+	span, intens := rest[:x], rest[x+1:]
+	colon := strings.IndexByte(span, ':')
+	if colon < 0 {
+		return Window{}, fmt.Errorf("faults: window %q missing ':' range (want kind@start:endxintensity)", part)
+	}
+	start, err := strconv.ParseFloat(strings.TrimSpace(span[:colon]), 64)
+	if err != nil {
+		return Window{}, fmt.Errorf("faults: window %q: bad start: %v", part, err)
+	}
+	end, err := strconv.ParseFloat(strings.TrimSpace(span[colon+1:]), 64)
+	if err != nil {
+		return Window{}, fmt.Errorf("faults: window %q: bad end: %v", part, err)
+	}
+	in, err := strconv.ParseFloat(strings.TrimSpace(intens), 64)
+	if err != nil {
+		return Window{}, fmt.Errorf("faults: window %q: bad intensity: %v", part, err)
+	}
+	w := Window{Kind: kind, Start: start, End: end, Intensity: in}
+	if err := w.validate(); err != nil {
+		return Window{}, err
+	}
+	return w, nil
+}
+
+func parseJSON(s string) (*Schedule, error) {
+	// Decode through a plain struct: *Schedule implements TextUnmarshaler
+	// (for flags), which would otherwise make encoding/json reject the
+	// object form.
+	var aux struct {
+		Windows []Window `json:"windows"`
+	}
+	var err error
+	if s[0] == '[' {
+		err = json.Unmarshal([]byte(s), &aux.Windows)
+	} else {
+		err = json.Unmarshal([]byte(s), &aux)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("faults: bad JSON schedule: %v", err)
+	}
+	sched := &Schedule{Windows: aux.Windows}
+	if len(sched.Windows) == 0 {
+		sched.Windows = nil // canonical empty form, same as Parse("")
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	return sched, nil
+}
+
+// String renders the canonical text form, which Parse round-trips.
+func (s *Schedule) String() string {
+	if s.Empty() {
+		return ""
+	}
+	parts := make([]string, len(s.Windows))
+	for i, w := range s.Windows {
+		parts[i] = fmt.Sprintf("%s@%g:%gx%g", w.Kind, w.Start, w.End, w.Intensity)
+	}
+	return strings.Join(parts, ";")
+}
+
+// MarshalText / UnmarshalText expose the text codec to flag and config
+// plumbing.
+func (s *Schedule) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses the text form in place.
+func (s *Schedule) UnmarshalText(b []byte) error {
+	parsed, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*s = *parsed
+	return nil
+}
+
+// ParseSpec resolves a user-facing fault spec: either a named profile
+// ("chaos", "lossy:0.5" — see Profiles) or an inline schedule in the text
+// or JSON grammar (recognized by '@', '[' or '{'). The empty string means
+// no faults and returns nil.
+func ParseSpec(spec string) (*Schedule, error) {
+	trimmed := strings.TrimSpace(spec)
+	if trimmed == "" {
+		return nil, nil
+	}
+	if strings.ContainsAny(trimmed, "@[{") {
+		return Parse(trimmed)
+	}
+	name, intensity := trimmed, 1.0
+	if colon := strings.IndexByte(trimmed, ':'); colon >= 0 {
+		name = strings.TrimSpace(trimmed[:colon])
+		v, err := strconv.ParseFloat(strings.TrimSpace(trimmed[colon+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("faults: bad intensity in spec %q: %v", spec, err)
+		}
+		intensity = v
+	}
+	return Profile(name, intensity)
+}

@@ -1,0 +1,175 @@
+// Package faults is the deterministic fault-injection layer. It turns a
+// declarative Schedule of impairment windows — burst interferers, fading
+// swings, CSI dropouts, tag clock drift, helper-traffic stalls, and
+// query/response corruption — into an Injector whose hooks plug into the
+// 802.11 medium (wifi.Medium.Impair), the uplink decoder
+// (uplink.Decoder.Impair), the downlink encoder (downlink.Encoder.Impair),
+// and the tag-side decode path in core.
+//
+// Determinism contract: all injector randomness comes from a single
+// *rng.Stream handed in by the caller (core derives it from the trial seed
+// with rng.TrialSeed, never by splitting a stream another subsystem also
+// consumes), every hook returns without drawing when the effective
+// intensity at the queried time is zero, and an Injector is confined to one
+// simulated system. Together these guarantee that a zero-intensity schedule
+// reproduces the clean channel bit-for-bit and that equal seeds replay
+// equal fault sequences at any worker count.
+package faults
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind identifies one impairment class.
+type Kind string
+
+// The impairment classes. Each maps to a specific hook point; DESIGN.md §9
+// documents where in the pipeline each one bites.
+const (
+	// Burst destroys frames on the medium with probability proportional
+	// to intensity, modelling a bursty co-channel interferer.
+	Burst Kind = "burst"
+	// Fade applies an SNR/amplitude step to every channel observation and
+	// to the PER model, modelling a fading swing or a blocked path.
+	Fade Kind = "fade"
+	// CSIDrop discards whole measurements or zeroes single antenna rows,
+	// modelling a flaky monitor-mode capture card.
+	CSIDrop Kind = "csidrop"
+	// Drift skews the tag's bit clock during downlink decode, modelling
+	// the cheap RC oscillator of an RF-powered tag.
+	Drift Kind = "drift"
+	// Stall defers helper-station contention, starving the tag of
+	// illuminating traffic for part of the window.
+	Stall Kind = "stall"
+	// Corrupt perturbs extracted uplink channel samples and suppresses
+	// downlink marker frames, modelling query/response corruption.
+	Corrupt Kind = "corrupt"
+)
+
+// Kinds returns all impairment classes in canonical order.
+func Kinds() []Kind {
+	return []Kind{Burst, Fade, CSIDrop, Drift, Stall, Corrupt}
+}
+
+// validKind reports whether k names an impairment class.
+func validKind(k Kind) bool {
+	for _, v := range Kinds() {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Window is one impairment active on [Start, End) with the given intensity
+// in [0, 1]. Windows of the same kind may overlap and arrive in any order;
+// the effective intensity at a time is the maximum over covering windows.
+type Window struct {
+	Kind      Kind    `json:"kind"`
+	Start     float64 `json:"start"`
+	End       float64 `json:"end"`
+	Intensity float64 `json:"intensity"`
+}
+
+// Covers reports whether the window is active at time t.
+func (w Window) Covers(t float64) bool { return t >= w.Start && t < w.End }
+
+func (w Window) validate() error {
+	if !validKind(w.Kind) {
+		return fmt.Errorf("faults: unknown kind %q", w.Kind)
+	}
+	if w.End <= w.Start {
+		return fmt.Errorf("faults: window %s@%g:%g is empty or inverted", w.Kind, w.Start, w.End)
+	}
+	if w.Intensity < 0 || w.Intensity > 1 {
+		return fmt.Errorf("faults: window %s@%g:%g intensity %g outside [0,1]", w.Kind, w.Start, w.End, w.Intensity)
+	}
+	return nil
+}
+
+// Schedule is a declarative fault plan: a set of impairment windows over
+// simulated time. The zero value is a valid empty schedule (no faults).
+type Schedule struct {
+	Windows []Window `json:"windows"`
+}
+
+// Validate checks every window. Overlapping and out-of-order windows are
+// legal; malformed kinds, inverted ranges, and out-of-range intensities are
+// not.
+func (s *Schedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for _, w := range s.Windows {
+		if err := w.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the schedule has no windows at all.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Windows) == 0 }
+
+// IntensityAt returns the effective intensity of kind k at time t: the
+// maximum over covering windows, clamped to [0, 1]. Zero means "kind
+// inactive" and every injector hook treats it as a guaranteed no-op.
+func (s *Schedule) IntensityAt(k Kind, t float64) float64 {
+	if s == nil {
+		return 0
+	}
+	max := 0.0
+	for _, w := range s.Windows {
+		if w.Kind == k && w.Covers(t) && w.Intensity > max {
+			max = w.Intensity
+		}
+	}
+	if max > 1 {
+		max = 1
+	}
+	return max
+}
+
+// Scaled returns a copy of the schedule with every window's intensity
+// multiplied by f (clamped to [0, 1]). Scaled(0) keeps the windows but
+// neutralizes them — the chaos tests use this to assert that intensity
+// zero reproduces the clean-channel baseline.
+func (s *Schedule) Scaled(f float64) *Schedule {
+	if s == nil {
+		return nil
+	}
+	out := &Schedule{Windows: make([]Window, len(s.Windows))}
+	copy(out.Windows, s.Windows)
+	for i := range out.Windows {
+		v := out.Windows[i].Intensity * f
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		out.Windows[i].Intensity = v
+	}
+	return out
+}
+
+// ActiveKinds returns the sorted set of kinds with at least one window of
+// positive intensity.
+func (s *Schedule) ActiveKinds() []Kind {
+	if s == nil {
+		return nil
+	}
+	seen := make(map[Kind]bool)
+	for _, w := range s.Windows {
+		if w.Intensity > 0 {
+			seen[w.Kind] = true
+		}
+	}
+	out := make([]Kind, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

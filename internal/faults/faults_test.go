@@ -1,0 +1,216 @@
+package faults
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestScheduleValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Schedule
+		ok   bool
+	}{
+		{"empty", Schedule{}, true},
+		{"good", Schedule{Windows: []Window{{Kind: Burst, Start: 0, End: 1, Intensity: 0.5}}}, true},
+		{"out of order windows are legal", Schedule{Windows: []Window{
+			{Kind: Fade, Start: 5, End: 6, Intensity: 1},
+			{Kind: Fade, Start: 0, End: 1, Intensity: 1},
+		}}, true},
+		{"overlapping windows are legal", Schedule{Windows: []Window{
+			{Kind: Burst, Start: 0, End: 2, Intensity: 0.5},
+			{Kind: Burst, Start: 1, End: 3, Intensity: 0.8},
+		}}, true},
+		{"unknown kind", Schedule{Windows: []Window{{Kind: "gremlins", Start: 0, End: 1, Intensity: 1}}}, false},
+		{"inverted range", Schedule{Windows: []Window{{Kind: Burst, Start: 2, End: 1, Intensity: 1}}}, false},
+		{"empty range", Schedule{Windows: []Window{{Kind: Burst, Start: 1, End: 1, Intensity: 1}}}, false},
+		{"intensity above one", Schedule{Windows: []Window{{Kind: Burst, Start: 0, End: 1, Intensity: 1.1}}}, false},
+		{"negative intensity", Schedule{Windows: []Window{{Kind: Burst, Start: 0, End: 1, Intensity: -0.1}}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.s.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestIntensityAtTakesMaxOverOverlaps(t *testing.T) {
+	s := &Schedule{Windows: []Window{
+		{Kind: Burst, Start: 0, End: 2, Intensity: 0.3},
+		{Kind: Burst, Start: 1, End: 3, Intensity: 0.8},
+		{Kind: Fade, Start: 0, End: 10, Intensity: 0.5},
+	}}
+	cases := []struct {
+		k    Kind
+		t    float64
+		want float64
+	}{
+		{Burst, 0.5, 0.3},
+		{Burst, 1.5, 0.8}, // overlap: max wins
+		{Burst, 2.5, 0.8},
+		{Burst, 3.0, 0},  // End is exclusive
+		{Burst, -0.1, 0}, // before any window
+		{Fade, 1.5, 0.5}, // kinds are independent
+		{Drift, 1.5, 0},  // absent kind
+	}
+	for _, tc := range cases {
+		if got := s.IntensityAt(tc.k, tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("IntensityAt(%s, %g) = %g, want %g", tc.k, tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := &Schedule{Windows: []Window{{Kind: Burst, Start: 0, End: 1, Intensity: 0.8}}}
+	half := s.Scaled(0.5)
+	if got := half.Windows[0].Intensity; math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("Scaled(0.5) intensity = %g, want 0.4", got)
+	}
+	zero := s.Scaled(0)
+	if zero.Empty() {
+		t.Error("Scaled(0) must keep windows (neutralized, not removed)")
+	}
+	if got := zero.IntensityAt(Burst, 0.5); got != 0 {
+		t.Errorf("Scaled(0) intensity = %g, want 0", got)
+	}
+	if s.Windows[0].Intensity != 0.8 {
+		t.Error("Scaled must not mutate the receiver")
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	in := "burst@0.5:2x0.8;fade@1:3x0.5;stall@0:30x1"
+	s, err := Parse(in)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(s.Windows) != 3 {
+		t.Fatalf("parsed %d windows, want 3", len(s.Windows))
+	}
+	round, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-Parse(%q): %v", s.String(), err)
+	}
+	if !reflect.DeepEqual(s, round) {
+		t.Errorf("round trip mismatch:\n first %+v\nsecond %+v", s, round)
+	}
+}
+
+func TestParseJSON(t *testing.T) {
+	array := `[{"kind":"burst","start":0,"end":1,"intensity":0.5}]`
+	object := `{"windows":[{"kind":"fade","start":1,"end":2,"intensity":1}]}`
+	s, err := Parse(array)
+	if err != nil || len(s.Windows) != 1 || s.Windows[0].Kind != Burst {
+		t.Fatalf("Parse(array) = %+v, %v", s, err)
+	}
+	s, err = Parse(object)
+	if err != nil || len(s.Windows) != 1 || s.Windows[0].Kind != Fade {
+		t.Fatalf("Parse(object) = %+v, %v", s, err)
+	}
+	// JSON emitted by the struct itself parses back.
+	b, err := json.Marshal(&Schedule{Windows: []Window{{Kind: Drift, Start: 0, End: 5, Intensity: 0.2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(string(b)); err != nil {
+		t.Errorf("Parse(Marshal output %s): %v", b, err)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"burst",               // no @
+		"burst@1x0.5",         // no range
+		"burst@1:2",           // no intensity
+		"burst@one:2x0.5",     // bad float
+		"burst@1:2x1.5",       // intensity out of range
+		"gremlins@1:2x0.5",    // unknown kind
+		"burst@2:1x0.5",       // inverted
+		`[{"kind":"burst"`,    // truncated JSON
+		`{"windows": "nope"}`, // wrong JSON shape
+	}
+	for _, in := range bad {
+		if s, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %+v, want error", in, s)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	if s, err := ParseSpec(""); s != nil || err != nil {
+		t.Errorf("ParseSpec(\"\") = %v, %v; want nil, nil", s, err)
+	}
+	s, err := ParseSpec("chaos")
+	if err != nil || s.Empty() {
+		t.Fatalf("ParseSpec(chaos) = %+v, %v", s, err)
+	}
+	half, err := ParseSpec("lossy:0.5")
+	if err != nil {
+		t.Fatalf("ParseSpec(lossy:0.5): %v", err)
+	}
+	full, err := ParseSpec("lossy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := half.Windows[0].Intensity, full.Windows[0].Intensity*0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("lossy:0.5 intensity = %g, want %g", got, want)
+	}
+	if _, err := ParseSpec("nonesuch"); err == nil || !strings.Contains(err.Error(), "unknown profile") {
+		t.Errorf("ParseSpec(nonesuch) err = %v, want unknown profile", err)
+	}
+	if _, err := ParseSpec("lossy:2"); err == nil {
+		t.Error("ParseSpec(lossy:2) must reject out-of-range intensity")
+	}
+	// Inline schedules route through Parse.
+	if s, err := ParseSpec("burst@0:1x0.5"); err != nil || len(s.Windows) != 1 {
+		t.Errorf("ParseSpec(inline) = %+v, %v", s, err)
+	}
+}
+
+func TestProfilesAreValid(t *testing.T) {
+	for _, name := range ProfileNames() {
+		s, err := Profile(name, 1)
+		if err != nil {
+			t.Errorf("Profile(%s): %v", name, err)
+			continue
+		}
+		if s.Empty() {
+			t.Errorf("Profile(%s) is empty", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("Profile(%s) invalid: %v", name, err)
+		}
+		if len(s.ActiveKinds()) == 0 {
+			t.Errorf("Profile(%s) has no active kinds", name)
+		}
+	}
+	// chaos exercises every kind.
+	chaos, err := Profile("chaos", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(chaos.ActiveKinds()), len(Kinds()); got != want {
+		t.Errorf("chaos covers %d kinds (%v), want all %d", got, chaos.ActiveKinds(), want)
+	}
+}
+
+func TestTally(t *testing.T) {
+	a := Tally{Burst: 5, Fade: 2}
+	b := Tally{Burst: 2}
+	d := a.Sub(b)
+	if d.Burst != 3 || d.Fade != 2 || d.Total() != 5 {
+		t.Errorf("Sub = %+v", d)
+	}
+	if got := d.ActiveKinds(); !reflect.DeepEqual(got, []string{"burst", "fade"}) {
+		t.Errorf("ActiveKinds = %v", got)
+	}
+	if got := (Tally{}).ActiveKinds(); len(got) != 0 {
+		t.Errorf("zero Tally ActiveKinds = %v", got)
+	}
+}

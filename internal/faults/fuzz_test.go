@@ -1,0 +1,69 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzScheduleCodec drives the schedule codec with arbitrary input. Two
+// properties must hold for every input: Parse never panics, and any
+// schedule Parse accepts must survive a String → Parse round trip
+// unchanged (the canonical form is a fixed point).
+func FuzzScheduleCodec(f *testing.F) {
+	// Seeds: the grammar's happy paths plus the shapes the satellite task
+	// names — empty, overlapping, and out-of-order windows — and a spread
+	// of near-miss malformed inputs.
+	seeds := []string{
+		"",
+		"   ",
+		"burst@0:1x0.5",
+		"burst@0:1x0.5;burst@0.5:1.5x0.9", // overlapping
+		"fade@10:20x1;burst@0:1x0.2;stall@5:6x0.7", // out of order
+		"corrupt@0:30x1;;drift@1:2x0.1;",           // empty segments
+		"burst@1e-3:2.5e-1x0.25",                   // exponent floats
+		"csidrop@-1:1x0.5",                         // negative start
+		"burst@0:1",                                // missing intensity
+		"burst@2:1x0.5",                            // inverted
+		"gremlins@0:1x1",                           // unknown kind
+		"burst@0:1x2",                              // out-of-range intensity
+		"@0:1x0.5",                                 // empty kind
+		"burst@:x",                                 // empty numbers
+		`[{"kind":"burst","start":0,"end":1,"intensity":0.5}]`,
+		`{"windows":[{"kind":"fade","start":1,"end":2,"intensity":1}]}`,
+		`[]`,
+		`{}`,
+		`[{"kind":"burst"`,
+		`{"windows": 3}`,
+		"lossy", // profile names are ParseSpec's job, not Parse's
+		"burst@0:1x0.5x0.5",
+		"burst@0:1:2x0.5",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted an invalid schedule: %v", in, err)
+		}
+		canon := s.String()
+		round, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, in, err)
+		}
+		if !reflect.DeepEqual(s, round) {
+			t.Fatalf("round trip of %q changed the schedule:\n first %+v\nsecond %+v", in, s, round)
+		}
+		if canon != round.String() {
+			t.Fatalf("canonical form is not a fixed point: %q vs %q", canon, round.String())
+		}
+		// ParseSpec must also never panic on whatever Parse accepted, nor
+		// on the raw input.
+		if _, err := ParseSpec(in); err != nil {
+			_ = err // malformed specs are fine; panics are not
+		}
+	})
+}

@@ -1,0 +1,349 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/csi"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/units"
+	"repro/internal/uplink"
+	"repro/internal/wifi"
+)
+
+// Impairment magnitudes at unit intensity. These set how hard each kind
+// bites when a window's intensity is 1; window intensities scale them
+// linearly, which is what makes the chaos suite's monotonic-degradation
+// property meaningful.
+const (
+	// burstLossMax is the frame destruction probability of a Burst window.
+	burstLossMax = 0.9
+	// fadeDepthDB is the SNR/amplitude reduction of a Fade window, dB.
+	fadeDepthDB = 14.0
+	// csiDropMeasurementMax is the whole-measurement drop probability of a
+	// CSIDrop window.
+	csiDropMeasurementMax = 0.35
+	// csiDropRowMax is the zero-one-antenna-row probability of a CSIDrop
+	// window (evaluated when the measurement survives).
+	csiDropRowMax = 0.5
+	// driftSkewMax is the fractional tag bit-clock skew of a Drift window.
+	driftSkewMax = 0.05
+	// corruptMarkerMax is the downlink marker suppression probability of a
+	// Corrupt window.
+	corruptMarkerMax = 0.35
+	// corruptSampleMax is the per-sample uplink corruption probability of
+	// a Corrupt window.
+	corruptSampleMax = 0.25
+	// corruptKick is the maximum relative amplitude perturbation of a
+	// corrupted uplink sample.
+	corruptKick = 0.8
+)
+
+// readerStationName is the one station stall windows never touch: the
+// stall kind models *helper* traffic starvation (an AP busy elsewhere),
+// while the reader's control plane is the system under test.
+const readerStationName = "reader"
+
+// Tally counts injected events per kind. Tallies are monotone; diff two
+// snapshots (Sub) to attribute events to one query or trial phase.
+type Tally struct {
+	Burst   int64 `json:"burst"`
+	Fade    int64 `json:"fade"`
+	CSIDrop int64 `json:"csidrop"`
+	Drift   int64 `json:"drift"`
+	Stall   int64 `json:"stall"`
+	Corrupt int64 `json:"corrupt"`
+}
+
+// Total sums the per-kind counts.
+func (t Tally) Total() int64 {
+	return t.Burst + t.Fade + t.CSIDrop + t.Drift + t.Stall + t.Corrupt
+}
+
+// Sub returns the per-kind difference t − o.
+func (t Tally) Sub(o Tally) Tally {
+	return Tally{
+		Burst:   t.Burst - o.Burst,
+		Fade:    t.Fade - o.Fade,
+		CSIDrop: t.CSIDrop - o.CSIDrop,
+		Drift:   t.Drift - o.Drift,
+		Stall:   t.Stall - o.Stall,
+		Corrupt: t.Corrupt - o.Corrupt,
+	}
+}
+
+// ActiveKinds returns the sorted names of kinds with a positive count.
+func (t Tally) ActiveKinds() []string {
+	counts := map[Kind]int64{
+		Burst: t.Burst, Fade: t.Fade, CSIDrop: t.CSIDrop,
+		Drift: t.Drift, Stall: t.Stall, Corrupt: t.Corrupt,
+	}
+	var out []string
+	for k, n := range counts {
+		if n > 0 {
+			out = append(out, string(k))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// injectorMetrics holds the injector's obs handles (faults.* in the
+// README's metric catalog). The zero value means "not instrumented".
+type injectorMetrics struct {
+	burst   *obs.Counter
+	fade    *obs.Counter
+	csidrop *obs.Counter
+	drift   *obs.Counter
+	stall   *obs.Counter
+	corrupt *obs.Counter
+	windows *obs.Gauge
+}
+
+// Injector executes a Schedule against one simulated system. All its
+// randomness comes from the stream passed to NewInjector; every hook is
+// safe on a nil receiver (no-op) and draws nothing when the effective
+// intensity at the queried time is zero, so an injector with a
+// zero-intensity schedule is bit-for-bit equivalent to no injector at
+// all. An Injector is confined to its system's goroutine, like the rest
+// of a trial.
+type Injector struct {
+	sched Schedule
+	rnd   *rng.Stream
+	met   injectorMetrics
+	tally Tally
+}
+
+// NewInjector validates the schedule and binds it to the randomness
+// stream. The stream must be dedicated to this injector — core derives it
+// from the trial seed with rng.TrialSeed so fault draws never perturb the
+// channel, card, or medium streams.
+func NewInjector(s *Schedule, rnd *rng.Stream) (*Injector, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if rnd == nil {
+		return nil, fmt.Errorf("faults: injector needs a dedicated rng stream")
+	}
+	in := &Injector{rnd: rnd}
+	if s != nil {
+		in.sched.Windows = append(in.sched.Windows, s.Windows...)
+	}
+	return in, nil
+}
+
+// Instrument registers the faults.injected.* counters and the
+// faults.windows gauge on r. A nil registry detaches the metrics.
+func (in *Injector) Instrument(r *obs.Registry) {
+	if in == nil {
+		return
+	}
+	in.met = injectorMetrics{
+		burst:   r.Counter("faults.injected.burst"),
+		fade:    r.Counter("faults.injected.fade"),
+		csidrop: r.Counter("faults.injected.csidrop"),
+		drift:   r.Counter("faults.injected.drift"),
+		stall:   r.Counter("faults.injected.stall"),
+		corrupt: r.Counter("faults.injected.corrupt"),
+		windows: r.Gauge("faults.windows"),
+	}
+	in.met.windows.Set(float64(len(in.sched.Windows)))
+}
+
+// Schedule returns a copy of the injector's schedule.
+func (in *Injector) Schedule() *Schedule {
+	if in == nil {
+		return nil
+	}
+	out := &Schedule{Windows: make([]Window, len(in.sched.Windows))}
+	copy(out.Windows, in.sched.Windows)
+	return out
+}
+
+// Tally returns the events injected so far. Nil-safe (zero Tally).
+func (in *Injector) Tally() Tally {
+	if in == nil {
+		return Tally{}
+	}
+	return in.tally
+}
+
+// --- wifi.Impairment -------------------------------------------------
+
+// FrameLost reports whether a burst interferer destroys the frame st puts
+// on air at start. Applied on top of the PER model, to data and control
+// frames alike — a burst that flattens the reader's CTS_to_SELF is what
+// drives transaction retries.
+func (in *Injector) FrameLost(st *wifi.Station, start float64) bool {
+	if in == nil {
+		return false
+	}
+	eff := in.sched.IntensityAt(Burst, start)
+	if eff <= 0 {
+		return false
+	}
+	if in.rnd.Float64() >= burstLossMax*eff {
+		return false
+	}
+	in.tally.Burst++
+	in.met.burst.Inc()
+	return true
+}
+
+// SNROffset returns the fade adjustment the PER model sees at time t.
+// Pure (no draws, no tally): the paired AttenuateChannel call accounts
+// the fade events.
+func (in *Injector) SNROffset(t float64) units.DB {
+	if in == nil {
+		return 0
+	}
+	eff := in.sched.IntensityAt(Fade, t)
+	if eff <= 0 {
+		return 0
+	}
+	return units.DB(-fadeDepthDB * eff)
+}
+
+// StalledUntil reports that st must sit out contention until the returned
+// time. A Stall window of intensity I stalls traffic for the first I
+// fraction of the window, so intensity scales starvation duration —
+// deterministically, with no draws. The reader is exempt (see
+// readerStationName).
+func (in *Injector) StalledUntil(st *wifi.Station, now float64) (float64, bool) {
+	if in == nil || st.Name == readerStationName {
+		return 0, false
+	}
+	until := 0.0
+	for _, w := range in.sched.Windows {
+		if w.Kind != Stall || w.Intensity <= 0 || !w.Covers(now) {
+			continue
+		}
+		if end := w.Start + w.Intensity*(w.End-w.Start); now < end && end > until {
+			until = end
+		}
+	}
+	if until <= now {
+		return 0, false
+	}
+	in.tally.Stall++
+	in.met.stall.Inc()
+	return until, true
+}
+
+// --- measurement-path hooks (core's monitor listener) -----------------
+
+// AttenuateChannel applies the fade's amplitude step to a channel
+// observation in place, before the card measures it.
+func (in *Injector) AttenuateChannel(t float64, h [][]complex128) {
+	if in == nil {
+		return
+	}
+	eff := in.sched.IntensityAt(Fade, t)
+	if eff <= 0 {
+		return
+	}
+	g := complex(math.Pow(10, -fadeDepthDB*eff/20), 0)
+	for _, row := range h {
+		for i := range row {
+			row[i] *= g
+		}
+	}
+	in.tally.Fade++
+	in.met.fade.Inc()
+}
+
+// CorruptMeasurement mutilates one card measurement: it either reports the
+// whole measurement dropped (return true — the caller must not append it)
+// or zeroes a single antenna row in place, modelling a flaky capture
+// path. Called after Card.Measure so the card's own noise stream stays
+// aligned with the clean run.
+func (in *Injector) CorruptMeasurement(t float64, m *csi.Measurement) bool {
+	if in == nil {
+		return false
+	}
+	eff := in.sched.IntensityAt(CSIDrop, t)
+	if eff <= 0 {
+		return false
+	}
+	if in.rnd.Float64() < csiDropMeasurementMax*eff {
+		in.tally.CSIDrop++
+		in.met.csidrop.Inc()
+		return true
+	}
+	if in.rnd.Float64() < csiDropRowMax*eff && len(m.CSI) > 0 {
+		row := in.rnd.Intn(len(m.CSI))
+		for k := range m.CSI[row] {
+			m.CSI[row][k] = 0
+		}
+		if row < len(m.RSSI) {
+			m.RSSI[row] = 0
+		}
+		in.tally.CSIDrop++
+		in.met.csidrop.Inc()
+	}
+	return false
+}
+
+// --- uplink.ChannelImpairment -----------------------------------------
+
+// ImpairChannel perturbs an extracted channel series in place before
+// conditioning: each sample inside a Corrupt window takes a relative
+// amplitude kick with probability proportional to the window intensity.
+func (in *Injector) ImpairChannel(id uplink.ChannelID, ts, raw []float64) {
+	if in == nil {
+		return
+	}
+	for i, t := range ts {
+		eff := in.sched.IntensityAt(Corrupt, t)
+		if eff <= 0 {
+			continue
+		}
+		if in.rnd.Float64() >= corruptSampleMax*eff {
+			continue
+		}
+		raw[i] *= 1 + corruptKick*(2*in.rnd.Float64()-1)
+		in.tally.Corrupt++
+		in.met.corrupt.Inc()
+	}
+}
+
+// --- downlink.MarkerImpairment ----------------------------------------
+
+// MarkerLost reports whether the downlink marker frame of the given chunk
+// scheduled at time at is suppressed (query corruption: the tag sees
+// silence where the reader placed energy).
+func (in *Injector) MarkerLost(chunk int, at float64) bool {
+	if in == nil {
+		return false
+	}
+	eff := in.sched.IntensityAt(Corrupt, at)
+	if eff <= 0 {
+		return false
+	}
+	if in.rnd.Float64() >= corruptMarkerMax*eff {
+		return false
+	}
+	in.tally.Corrupt++
+	in.met.corrupt.Inc()
+	return true
+}
+
+// --- tag decode hook ---------------------------------------------------
+
+// ClockDrift returns the fractional bit-clock skew of the tag's decoder
+// at time t (0 = nominal). Pure except for the event tally, which counts
+// each drifted decode window once.
+func (in *Injector) ClockDrift(t float64) float64 {
+	if in == nil {
+		return 0
+	}
+	eff := in.sched.IntensityAt(Drift, t)
+	if eff <= 0 {
+		return 0
+	}
+	in.tally.Drift++
+	in.met.drift.Inc()
+	return driftSkewMax * eff
+}

@@ -1,0 +1,318 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/csi"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/uplink"
+	"repro/internal/wifi"
+)
+
+func newTestInjector(t *testing.T, s *Schedule, seed int64) *Injector {
+	t.Helper()
+	in, err := NewInjector(s, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewInjectorValidates(t *testing.T) {
+	bad := &Schedule{Windows: []Window{{Kind: "nope", Start: 0, End: 1, Intensity: 1}}}
+	if _, err := NewInjector(bad, rng.New(1)); err == nil {
+		t.Error("NewInjector must reject invalid schedules")
+	}
+	if _, err := NewInjector(&Schedule{}, nil); err == nil {
+		t.Error("NewInjector must reject a nil rng stream")
+	}
+}
+
+// TestZeroIntensityDrawsNothing is the heart of the determinism contract:
+// a zero-intensity schedule must consume no randomness and perturb
+// nothing, so it is indistinguishable from running without an injector.
+func TestZeroIntensityDrawsNothing(t *testing.T) {
+	sched, err := Profile("chaos", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := newTestInjector(t, sched.Scaled(0), 7)
+	st := &wifi.Station{Name: "helper"}
+	h := [][]complex128{{1 + 2i, 3}}
+	m := csi.Measurement{Timestamp: 1, CSI: [][]float64{{5, 6}}, RSSI: []float64{-40}}
+	raw := []float64{1, 2, 3}
+	ts := []float64{0.5, 1.5, 2.5}
+	for _, probe := range []float64{0.1, 1, 2.5, 10, 29.9} {
+		if in.FrameLost(st, probe) {
+			t.Errorf("FrameLost at %g with zero intensity", probe)
+		}
+		if got := in.SNROffset(probe); got != 0 {
+			t.Errorf("SNROffset(%g) = %v", probe, got)
+		}
+		if _, ok := in.StalledUntil(st, probe); ok {
+			t.Errorf("StalledUntil at %g with zero intensity", probe)
+		}
+		in.AttenuateChannel(probe, h)
+		if in.CorruptMeasurement(probe, &m) {
+			t.Errorf("CorruptMeasurement dropped at %g", probe)
+		}
+		if got := in.ClockDrift(probe); got != 0 {
+			t.Errorf("ClockDrift(%g) = %v", probe, got)
+		}
+		if in.MarkerLost(0, probe) {
+			t.Errorf("MarkerLost at %g", probe)
+		}
+	}
+	in.ImpairChannel(uplink.ChannelID{Antenna: 0, Subchannel: 1}, ts, raw)
+	if h[0][0] != 1+2i || raw[1] != 2 || m.CSI[0][0] != 5 {
+		t.Error("zero-intensity hooks mutated their inputs")
+	}
+	if in.Tally().Total() != 0 {
+		t.Errorf("tally = %+v, want all zero", in.Tally())
+	}
+	// No draws: the stream must still be in its initial state.
+	want := rng.New(7).Int63()
+	if got := in.rnd.Int63(); got != want {
+		t.Errorf("injector consumed randomness at zero intensity (next draw %d, want %d)", got, want)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	st := &wifi.Station{Name: "helper"}
+	if in.FrameLost(st, 1) || in.MarkerLost(0, 1) {
+		t.Error("nil injector injected")
+	}
+	if _, ok := in.StalledUntil(st, 1); ok {
+		t.Error("nil injector stalled")
+	}
+	if in.SNROffset(1) != 0 || in.ClockDrift(1) != 0 {
+		t.Error("nil injector offset")
+	}
+	in.AttenuateChannel(1, nil)
+	in.ImpairChannel(uplink.ChannelID{}, nil, nil)
+	if in.CorruptMeasurement(1, nil) {
+		t.Error("nil injector dropped a measurement")
+	}
+	if in.Tally().Total() != 0 {
+		t.Error("nil injector tallied")
+	}
+	in.Instrument(obs.NewRegistry())
+	if in.Schedule() != nil {
+		t.Error("nil injector has a schedule")
+	}
+}
+
+func TestFrameLostScalesWithIntensity(t *testing.T) {
+	const trials = 4000
+	st := &wifi.Station{Name: "helper"}
+	rates := make([]float64, 0, 3)
+	for _, intensity := range []float64{0.2, 0.6, 1} {
+		s := &Schedule{Windows: []Window{{Kind: Burst, Start: 0, End: 1, Intensity: intensity}}}
+		in := newTestInjector(t, s, 11)
+		lost := 0
+		for i := 0; i < trials; i++ {
+			if in.FrameLost(st, 0.5) {
+				lost++
+			}
+		}
+		rate := float64(lost) / trials
+		want := burstLossMax * intensity
+		if math.Abs(rate-want) > 0.05 {
+			t.Errorf("intensity %g: loss rate %.3f, want ~%.3f", intensity, rate, want)
+		}
+		rates = append(rates, rate)
+		if got := in.Tally().Burst; got != int64(lost) {
+			t.Errorf("tally.Burst = %d, want %d", got, lost)
+		}
+	}
+	if !(rates[0] < rates[1] && rates[1] < rates[2]) {
+		t.Errorf("loss rate not monotone in intensity: %v", rates)
+	}
+}
+
+func TestStalledUntilScalesWithIntensity(t *testing.T) {
+	mk := func(intensity float64) *Schedule {
+		return &Schedule{Windows: []Window{{Kind: Stall, Start: 10, End: 20, Intensity: intensity}}}
+	}
+	helper := &wifi.Station{Name: "helper"}
+	reader := &wifi.Station{Name: "reader"}
+
+	in := newTestInjector(t, mk(0.5), 3)
+	until, ok := in.StalledUntil(helper, 11)
+	if !ok || math.Abs(until-15) > 1e-9 {
+		t.Errorf("StalledUntil(11) = %g, %v; want 15, true (stall covers first half)", until, ok)
+	}
+	if _, ok := in.StalledUntil(helper, 16); ok {
+		t.Error("second half of a 0.5-intensity stall window must be free")
+	}
+	if _, ok := in.StalledUntil(reader, 11); ok {
+		t.Error("the reader must be exempt from stalls")
+	}
+	full := newTestInjector(t, mk(1), 3)
+	if until, ok := full.StalledUntil(helper, 19.9); !ok || math.Abs(until-20) > 1e-9 {
+		t.Errorf("full-intensity stall: StalledUntil(19.9) = %g, %v; want 20, true", until, ok)
+	}
+}
+
+func TestAttenuateChannelAndSNROffsetAgree(t *testing.T) {
+	s := &Schedule{Windows: []Window{{Kind: Fade, Start: 0, End: 10, Intensity: 1}}}
+	in := newTestInjector(t, s, 5)
+	if got, want := float64(in.SNROffset(5)), -fadeDepthDB; math.Abs(got-want) > 1e-9 {
+		t.Errorf("SNROffset = %g dB, want %g", got, want)
+	}
+	h := [][]complex128{{complex(2, 0)}}
+	in.AttenuateChannel(5, h)
+	// Amplitude ratio must match the dB offset: 20·log10(|h'|/|h|) = -14.
+	gotDB := 20 * math.Log10(real(h[0][0])/2)
+	if math.Abs(gotDB-(-fadeDepthDB)) > 1e-9 {
+		t.Errorf("amplitude fade = %g dB, want %g", gotDB, -fadeDepthDB)
+	}
+}
+
+func TestCorruptMeasurementRowZeroing(t *testing.T) {
+	s := &Schedule{Windows: []Window{{Kind: CSIDrop, Start: 0, End: 5000, Intensity: 1}}}
+	in := newTestInjector(t, s, 9)
+	drops, zeroed, kept := 0, 0, 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		m := csi.Measurement{
+			Timestamp: float64(i),
+			CSI:       [][]float64{{1, 1}, {1, 1}, {1, 1}},
+			RSSI:      []float64{1, 1, 1},
+		}
+		if in.CorruptMeasurement(float64(i), &m) {
+			drops++
+			continue
+		}
+		zero := false
+		for a := range m.CSI {
+			if m.CSI[a][0] == 0 && m.CSI[a][1] == 0 {
+				zero = true
+				if m.RSSI[a] != 0 {
+					t.Fatal("zeroed CSI row must zero the matching RSSI")
+				}
+			}
+		}
+		if zero {
+			zeroed++
+		} else {
+			kept++
+		}
+	}
+	dropRate := float64(drops) / trials
+	if math.Abs(dropRate-csiDropMeasurementMax) > 0.04 {
+		t.Errorf("drop rate %.3f, want ~%.2f", dropRate, csiDropMeasurementMax)
+	}
+	if zeroed == 0 || kept == 0 {
+		t.Errorf("want a mix of zeroed (%d) and intact (%d) measurements", zeroed, kept)
+	}
+	if got := in.Tally().CSIDrop; got != int64(drops+zeroed) {
+		t.Errorf("tally.CSIDrop = %d, want %d", got, drops+zeroed)
+	}
+}
+
+func TestImpairChannelOnlyTouchesCoveredSamples(t *testing.T) {
+	s := &Schedule{Windows: []Window{{Kind: Corrupt, Start: 1, End: 2, Intensity: 1}}}
+	in := newTestInjector(t, s, 13)
+	n := 300
+	ts := make([]float64, n)
+	raw := make([]float64, n)
+	for i := range ts {
+		ts[i] = 3 * float64(i) / float64(n) // spans [0,3); middle third covered
+		raw[i] = 1
+	}
+	in.ImpairChannel(uplink.ChannelID{Antenna: 1, Subchannel: 4}, ts, raw)
+	changed := 0
+	for i := range raw {
+		if raw[i] != 1 {
+			if ts[i] < 1 || ts[i] >= 2 {
+				t.Fatalf("sample at t=%g outside the window was corrupted", ts[i])
+			}
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("no samples corrupted inside a full-intensity window")
+	}
+	if got := in.Tally().Corrupt; got != int64(changed) {
+		t.Errorf("tally.Corrupt = %d, want %d", got, changed)
+	}
+}
+
+func TestClockDriftScale(t *testing.T) {
+	s := &Schedule{Windows: []Window{{Kind: Drift, Start: 0, End: 10, Intensity: 0.5}}}
+	in := newTestInjector(t, s, 1)
+	if got, want := in.ClockDrift(5), driftSkewMax*0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ClockDrift = %g, want %g", got, want)
+	}
+	if got := in.ClockDrift(11); got != 0 {
+		t.Errorf("ClockDrift outside window = %g", got)
+	}
+}
+
+// TestInjectorReplaysIdentically: equal seed and schedule produce the
+// identical draw sequence, the per-trial determinism the eval layer
+// depends on.
+func TestInjectorReplaysIdentically(t *testing.T) {
+	sched, err := Profile("chaos", 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]bool, Tally) {
+		in := newTestInjector(t, sched, 42)
+		st := &wifi.Station{Name: "helper"}
+		var outcomes []bool
+		for i := 0; i < 500; i++ {
+			at := float64(i) * 0.06
+			outcomes = append(outcomes, in.FrameLost(st, at), in.MarkerLost(i, at))
+			m := csi.Measurement{Timestamp: at, CSI: [][]float64{{1}, {1}}, RSSI: []float64{1, 1}}
+			outcomes = append(outcomes, in.CorruptMeasurement(at, &m))
+		}
+		return outcomes, in.Tally()
+	}
+	o1, t1 := run()
+	o2, t2 := run()
+	if !reflect.DeepEqual(o1, o2) || t1 != t2 {
+		t.Error("identical seed+schedule did not replay identically")
+	}
+	if t1.Total() == 0 {
+		t.Error("chaos profile at 0.8 injected nothing in 30 simulated seconds")
+	}
+}
+
+func TestInstrumentCounts(t *testing.T) {
+	s := &Schedule{Windows: []Window{{Kind: Burst, Start: 0, End: 1, Intensity: 1}}}
+	in := newTestInjector(t, s, 2)
+	reg := obs.NewRegistry()
+	in.Instrument(reg)
+	st := &wifi.Station{Name: "helper"}
+	n := int64(0)
+	for i := 0; i < 100; i++ {
+		if in.FrameLost(st, 0.5) {
+			n++
+		}
+	}
+	snap := reg.Snapshot()
+	var burst int64
+	for _, c := range snap.Counters {
+		if c.Name == "faults.injected.burst" {
+			burst = c.Value
+		}
+	}
+	if burst != n {
+		t.Errorf("faults.injected.burst = %d, want %d", burst, n)
+	}
+	windows := -1.0
+	for _, g := range snap.Gauges {
+		if g.Name == "faults.windows" {
+			windows = g.Value
+		}
+	}
+	if windows != 1 {
+		t.Errorf("faults.windows = %g, want 1", windows)
+	}
+}

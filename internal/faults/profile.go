@@ -1,0 +1,114 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file defines the named fault profiles reachable from the CLIs'
+// -faults flag and the eval resilience sweep. Profiles describe 30 s of
+// simulated time — longer than any single trial or transaction horizon in
+// the suite — so a profile behaves the same whether a run lasts one second
+// or twenty.
+
+// profileHorizon is the span the built-in profiles cover, seconds.
+const profileHorizon = 30.0
+
+// profileBuilders maps profile names to window generators at unit
+// intensity.
+var profileBuilders = map[string]func() []Window{
+	// bursty: a 0.4 s interference burst every 2 s, like a microwave oven
+	// or a co-channel hopper.
+	"bursty": func() []Window {
+		return repeat(Burst, 0, profileHorizon, 0.4, 2.0, 1)
+	},
+	// fading: alternating deep and shallow fade plateaus, one second each,
+	// separated by a second of clean channel.
+	"fading": func() []Window {
+		var ws []Window
+		depths := []float64{1, 0.6, 0.85}
+		for i, t := 0, 0.5; t < profileHorizon; i, t = i+1, t+2 {
+			ws = append(ws, Window{Kind: Fade, Start: t, End: t + 1, Intensity: depths[i%len(depths)]})
+		}
+		return ws
+	},
+	// dropout: a continuously flaky capture card losing CSI rows and
+	// whole measurements.
+	"dropout": func() []Window {
+		return []Window{{Kind: CSIDrop, Start: 0, End: profileHorizon, Intensity: 1}}
+	},
+	// clockdrift: the tag's RC oscillator runs fast for the whole run.
+	"clockdrift": func() []Window {
+		return []Window{{Kind: Drift, Start: 0, End: profileHorizon, Intensity: 1}}
+	},
+	// stalls: the helper's traffic stalls for most of a 1.5 s window
+	// every 4 s (an AP serving other clients, or a rate-limited backhaul).
+	"stalls": func() []Window {
+		return repeat(Stall, 0.8, profileHorizon, 1.5, 4.0, 1)
+	},
+	// corrupt: continuous query/response corruption — uplink sample hits
+	// and downlink marker suppression.
+	"corrupt": func() []Window {
+		return []Window{{Kind: Corrupt, Start: 0, End: profileHorizon, Intensity: 1}}
+	},
+	// lossy: steady frame loss plus a shallow fade, the profile behind
+	// EXPERIMENTS.md's retransmission curve.
+	"lossy": func() []Window {
+		return []Window{
+			{Kind: Burst, Start: 0, End: profileHorizon, Intensity: 0.45},
+			{Kind: Fade, Start: 0, End: profileHorizon, Intensity: 0.3},
+		}
+	},
+	// chaos: every impairment class, staggered so each gets exclusive
+	// time and they also overlap.
+	"chaos": func() []Window {
+		ws := []Window{
+			{Kind: CSIDrop, Start: 0, End: profileHorizon, Intensity: 0.5},
+			{Kind: Drift, Start: 0, End: profileHorizon, Intensity: 0.4},
+			{Kind: Corrupt, Start: 2, End: profileHorizon, Intensity: 0.5},
+			{Kind: Fade, Start: 1, End: profileHorizon, Intensity: 0.35},
+		}
+		ws = append(ws, repeat(Burst, 0.5, profileHorizon, 0.5, 3.0, 0.7)...)
+		ws = append(ws, repeat(Stall, 2.0, profileHorizon, 1.0, 5.0, 0.8)...)
+		return ws
+	},
+}
+
+// repeat lays out windows of the given kind and length every period seconds
+// from start to horizon.
+func repeat(k Kind, start, horizon, length, period, intensity float64) []Window {
+	var ws []Window
+	for t := start; t < horizon; t += period {
+		end := t + length
+		if end > horizon {
+			end = horizon
+		}
+		ws = append(ws, Window{Kind: k, Start: t, End: end, Intensity: intensity})
+	}
+	return ws
+}
+
+// ProfileNames lists the built-in profiles, sorted.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profileBuilders))
+	for n := range profileBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Profile returns the named profile scaled to the given intensity (1 is
+// the profile's design strength; 0 keeps the windows but neutralizes
+// them).
+func Profile(name string, intensity float64) (*Schedule, error) {
+	build, ok := profileBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("faults: unknown profile %q (have %v)", name, ProfileNames())
+	}
+	if intensity < 0 || intensity > 1 {
+		return nil, fmt.Errorf("faults: profile intensity %g outside [0,1]", intensity)
+	}
+	s := &Schedule{Windows: build()}
+	return s.Scaled(intensity), nil
+}

@@ -34,7 +34,7 @@ func DefaultHarvester() Harvester {
 	return Harvester{
 		WiFiAperture:   6 * 1.3e-3 * 0.25, // six patches, 25% rectifier
 		TVAperture:     0.014,             // UHF dipole aperture × efficiency
-		TVTowerEIRP:    units.DBm(90),                // 1 MW ERP
+		TVTowerEIRP:    units.DBm(90),     // 1 MW ERP
 		TVPathExponent: 2.2,
 		TVRefDistance:  units.Meters(100),
 	}

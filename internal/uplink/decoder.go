@@ -237,10 +237,24 @@ func analyzeChannel(id ChannelID, raw []float64, ts []float64, bins [][]int, cfg
 	return st
 }
 
+// ChannelImpairment lets a fault layer perturb an extracted channel series
+// in place before conditioning (see internal/faults). ts and raw are the
+// in-frame timestamps and samples of the channel named by id; raw may be
+// mutated, ts is shared across channels and must be treated as read-only.
+// Implementations must be deterministic and must draw only from their own
+// randomness stream.
+type ChannelImpairment interface {
+	ImpairChannel(id ChannelID, ts, raw []float64)
+}
+
 // Decoder decodes tag transmissions from measurement series.
 type Decoder struct {
 	cfg Config
 	met decoderMetrics
+
+	// Impair, when non-nil, corrupts each extracted channel before it is
+	// conditioned and scored (core wires the fault injector here).
+	Impair ChannelImpairment
 }
 
 // decoderMetrics holds the decoder's obs handles; the zero value means
@@ -327,6 +341,9 @@ func (d *Decoder) DecodeCSI(s *csi.Series, start float64, payloadLen int) (*Resu
 			if err != nil {
 				return nil, err
 			}
+			if d.Impair != nil {
+				d.Impair.ImpairChannel(ChannelID{a, k}, ts, raw[lo:hi])
+			}
 			stats = append(stats, analyzeChannel(ChannelID{a, k}, raw[lo:hi], ts, bins, d.cfg))
 			d.met.channelsAnalyzed.Inc()
 		}
@@ -363,6 +380,9 @@ func (d *Decoder) DecodeRSSI(s *csi.Series, start float64, payloadLen int) (*Res
 		raw, err = s.RSSIChannelInto(raw, a)
 		if err != nil {
 			return nil, err
+		}
+		if d.Impair != nil {
+			d.Impair.ImpairChannel(ChannelID{a, -1}, ts, raw[lo:hi])
 		}
 		stats = append(stats, analyzeChannel(ChannelID{a, -1}, raw[lo:hi], ts, bins, d.cfg))
 		d.met.channelsAnalyzed.Inc()
@@ -513,6 +533,9 @@ func (d *Decoder) DecodeSingleChannel(s *csi.Series, start float64, payloadLen, 
 	}
 	ts = ts[lo:hi]
 	bins := binByTimestamp(ts, start, d.cfg.BitDuration, nbits)
+	if d.Impair != nil {
+		d.Impair.ImpairChannel(ChannelID{antenna, subchannel}, ts, raw[lo:hi])
+	}
 	st := analyzeChannel(ChannelID{antenna, subchannel}, raw[lo:hi], ts, bins, d.cfg)
 	defer dsp.PutSlice(st.cond)
 	d.met.channelsAnalyzed.Inc()

@@ -32,6 +32,25 @@ type Transmission struct {
 // Listener receives every transmission on the medium, in time order.
 type Listener func(tx *Transmission)
 
+// Impairment lets a fault layer perturb the medium (see internal/faults).
+// All methods are called synchronously from the medium's event handlers;
+// an implementation must be deterministic given the simulation history and
+// must not consume the medium's own randomness stream, so that a no-op
+// impairment leaves a run bit-for-bit identical to Impair == nil.
+type Impairment interface {
+	// FrameLost reports whether the frame st puts on air at start is
+	// destroyed by injected interference. It applies to every frame type,
+	// on top of (and after) the SNR-based PER model.
+	FrameLost(st *Station, start float64) bool
+	// SNROffset is added to the link SNR before the PER model, letting
+	// fades raise the channel's intrinsic loss.
+	SNROffset(now float64) units.DB
+	// StalledUntil reports that st must sit out contention until the
+	// returned time (when ok is true), starving downstream listeners of
+	// its traffic.
+	StalledUntil(st *Station, now float64) (until float64, ok bool)
+}
+
 // Medium is a single-channel CSMA/CA (DCF) medium. Contention is resolved
 // in rounds: whenever the channel has been idle for DIFS and stations have
 // queued frames, each ready station draws a backoff from its contention
@@ -46,6 +65,10 @@ type Medium struct {
 	roundPending bool
 	listeners    []Listener
 	met          mediumMetrics
+
+	// Impair, when non-nil, injects faults into contention and delivery.
+	// Set it before traffic starts (core wires the fault injector here).
+	Impair Impairment
 }
 
 // mediumMetrics holds the medium's obs handles. The zero value (all nil)
@@ -208,12 +231,28 @@ func (m *Medium) round() {
 		return
 	}
 	var ready []*Station
+	stallRelease := 0.0
 	for _, st := range m.stations {
-		if len(st.queue) > 0 {
-			ready = append(ready, st)
+		if len(st.queue) == 0 {
+			continue
 		}
+		if m.Impair != nil {
+			if until, ok := m.Impair.StalledUntil(st, now); ok {
+				// Stalled stations keep their queue but sit out this
+				// round; remember the earliest release so a fully
+				// stalled medium wakes up again.
+				if stallRelease == 0 || until < stallRelease {
+					stallRelease = until
+				}
+				continue
+			}
+		}
+		ready = append(ready, st)
 	}
 	if len(ready) == 0 {
+		if stallRelease > 0 {
+			m.eng.ScheduleAt(stallRelease+DIFS, m.round)
+		}
 		return
 	}
 	// Each ready station draws a backoff; minimum wins, ties collide.
@@ -255,8 +294,16 @@ func (m *Medium) deliver(st *Station, start float64) {
 	// Channel-error loss at the intended receiver.
 	lost := false
 	if st.SNR != nil && f.Header.Type == TypeData {
-		per := PERModel(st.SNR(start), rate, f.Length())
+		snr := st.SNR(start)
+		if m.Impair != nil {
+			snr += m.Impair.SNROffset(start)
+		}
+		per := PERModel(snr, rate, f.Length())
 		lost = m.rnd.Float64() < per
+	}
+	// Injected interference can destroy any frame, control included.
+	if !lost && m.Impair != nil && m.Impair.FrameLost(st, start) {
+		lost = true
 	}
 	if !lost && f.Header.Type == TypeData && f.Header.Addr1 != BroadcastMAC {
 		m.busyUntil = end + AckAirTime()
