@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint race fuzz bench metrics-golden chaos faults-golden check
+.PHONY: all build vet test lint race fuzz bench bench-stream metrics-golden chaos faults-golden check
 
 all: check
 
@@ -36,9 +36,17 @@ fuzz:
 	$(GO) test -fuzz=FuzzParsePayload -fuzztime=10s ./internal/downlink/
 	$(GO) test -fuzz=FuzzMessageRoundTrip -fuzztime=10s ./internal/downlink/
 	$(GO) test -fuzz=FuzzScheduleCodec -fuzztime=10s ./internal/faults/
+	$(GO) test -fuzz=FuzzStreamPush -fuzztime=10s ./internal/uplink/
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Streaming decode contract: BenchmarkStream* report the per-push and
+# per-frame cost with -benchmem, and the same package run re-asserts
+# TestStreamPushSteadyStateAllocs (steady-state Push must not allocate —
+# the test is skipped under -race, so this plain-build run is the gate).
+bench-stream:
+	$(GO) test -bench 'BenchmarkStream' -benchmem -run TestStreamPushSteadyStateAllocs ./internal/uplink/
 
 # Pins the observability contract: the aggregated pipeline metrics from an
 # instrumented sweep must match testdata/metrics_golden.json byte for byte
@@ -60,4 +68,4 @@ chaos:
 faults-golden:
 	$(GO) test ./internal/eval/ -run 'TestFaultsGolden|TestFaultsWorkerInvariance'
 
-check: vet build lint race fuzz metrics-golden chaos faults-golden
+check: vet build lint race fuzz bench-stream metrics-golden chaos faults-golden

@@ -5,10 +5,21 @@
 // collected elsewhere — including a real Intel CSI Tool capture exported
 // to the same schema — decodes without the simulator.
 //
+// With an explicit -payload the trace is decoded incrementally: rows are
+// parsed one at a time into a reused record and pushed straight into an
+// uplink.StreamDecoder, so memory stays constant in the trace length —
+// the decoder buffers only the measurements inside the transmission
+// window, and wbdecode itself holds one row plus fixed-size ground-truth
+// counters. That is what makes `-follow` work on a live pipe: bits print
+// the moment the frame closes, while the producer is still writing.
+// Without -payload the length is inferred from the trace span, which
+// requires reading the whole trace first (the only materialized path).
+//
 // Usage:
 //
 //	wbtrace -what csi > trace.csv
 //	wbdecode -rate 100 -start 1.0 -payload 300 < trace.csv
+//	wbtrace -what csi | wbdecode -rate 100 -start 1.0 -payload 300 -follow
 //
 // When the trace carries a tag_state column (ground truth from the
 // simulator), wbdecode also reports the bit error rate.
@@ -32,24 +43,36 @@ func main() {
 	start := flag.Float64("start", 1.0, "transmission start time in seconds")
 	payload := flag.Int("payload", 0, "payload bits (0 = infer from trace span)")
 	mode := flag.String("mode", "csi", "csi or rssi")
+	follow := flag.Bool("follow", false, "print bits as they decode (requires -payload)")
 	flag.Parse()
 
-	if err := run(os.Stdin, os.Stdout, *rate, *start, *payload, *mode); err != nil {
+	if err := run(os.Stdin, os.Stdout, *rate, *start, *payload, *mode, *follow); err != nil {
 		fmt.Fprintln(os.Stderr, "wbdecode:", err)
 		os.Exit(1)
 	}
 }
 
-// trace holds a parsed CSV measurement trace.
-type trace struct {
-	series   csi.Series
-	states   []bool // per-packet tag state, when present
+// chanCol maps one CSV column to a measurement lane.
+type chanCol struct{ ant, sub, col int }
+
+// rowParser streams the wbtrace CSV schema one row at a time. The header
+// is consumed at construction; next fills a single reused Measurement, so
+// steady-state parsing does not allocate per row.
+type rowParser struct {
+	cr       *csv.Reader
+	tsCol    int
+	stateCol int
 	hasState bool
+	csiCols  []chanCol
+	rssiCols []chanCol
+	m        csi.Measurement
 }
 
-// parseTrace reads the wbtrace CSV schema.
-func parseTrace(r io.Reader) (*trace, error) {
+// newRowParser reads the header and discovers the measurement layout from
+// the column names.
+func newRowParser(r io.Reader) (*rowParser, error) {
 	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("reading header: %w", err)
@@ -62,16 +85,13 @@ func parseTrace(r io.Reader) (*trace, error) {
 	if !ok {
 		return nil, fmt.Errorf("trace has no timestamp column")
 	}
-	stateCol, hasState := col["tag_state"]
-	// Discover the measurement layout from column names.
-	type chanCol struct{ ant, sub, col int }
-	var csiCols []chanCol
-	var rssiCols []chanCol
+	p := &rowParser{cr: cr, tsCol: tsCol}
+	p.stateCol, p.hasState = col["tag_state"]
 	maxAnt, maxSub := -1, -1
 	for name, i := range col {
 		var a, k int
 		if n, _ := fmt.Sscanf(name, "csi_a%d_s%d", &a, &k); n == 2 {
-			csiCols = append(csiCols, chanCol{a, k, i})
+			p.csiCols = append(p.csiCols, chanCol{a, k, i})
 			if a > maxAnt {
 				maxAnt = a
 			}
@@ -79,90 +99,262 @@ func parseTrace(r io.Reader) (*trace, error) {
 				maxSub = k
 			}
 		} else if n, _ := fmt.Sscanf(name, "rssi_a%d", &a); n == 1 && strings.HasPrefix(name, "rssi_") {
-			rssiCols = append(rssiCols, chanCol{a, 0, i})
+			p.rssiCols = append(p.rssiCols, chanCol{a, 0, i})
 			if a > maxAnt {
 				maxAnt = a
 			}
 		}
 	}
-	if len(csiCols) == 0 && len(rssiCols) == 0 {
+	if len(p.csiCols) == 0 && len(p.rssiCols) == 0 {
 		return nil, fmt.Errorf("trace has neither csi_a*_s* nor rssi_a* columns")
 	}
-	tr := &trace{hasState: hasState}
-	for {
-		row, err := cr.Read()
-		if err == io.EOF {
-			break
+	// Pre-size the reused measurement to the discovered shape.
+	p.m.CSI = make([][]float64, maxAnt+1)
+	p.m.RSSI = make([]float64, maxAnt+1)
+	for a := range p.m.CSI {
+		if len(p.csiCols) > 0 {
+			p.m.CSI[a] = make([]float64, maxSub+1)
+		} else {
+			p.m.CSI[a] = []float64{0}
 		}
+	}
+	return p, nil
+}
+
+// next parses one row into the parser's reused measurement. The returned
+// measurement and its slices are only valid until the following call —
+// consumers that retain rows (parseTrace) must clone. ok is false at EOF.
+func (p *rowParser) next() (m csi.Measurement, state, ok bool, err error) {
+	row, err := p.cr.Read()
+	if err == io.EOF {
+		return csi.Measurement{}, false, false, nil
+	}
+	if err != nil {
+		return csi.Measurement{}, false, false, err
+	}
+	ts, err := strconv.ParseFloat(row[p.tsCol], 64)
+	if err != nil {
+		return csi.Measurement{}, false, false, fmt.Errorf("bad timestamp %q: %w", row[p.tsCol], err)
+	}
+	p.m.Timestamp = ts
+	if len(p.csiCols) > 0 {
+		for _, c := range p.csiCols {
+			v, err := strconv.ParseFloat(row[c.col], 64)
+			if err != nil {
+				return csi.Measurement{}, false, false, fmt.Errorf("bad CSI value: %w", err)
+			}
+			p.m.CSI[c.ant][c.sub] = v
+		}
+	} else {
+		for _, c := range p.rssiCols {
+			v, err := strconv.ParseFloat(row[c.col], 64)
+			if err != nil {
+				return csi.Measurement{}, false, false, fmt.Errorf("bad RSSI value: %w", err)
+			}
+			p.m.RSSI[c.ant] = v
+		}
+	}
+	if p.hasState {
+		state = row[p.stateCol] == "1"
+	}
+	return p.m, state, true, nil
+}
+
+// trace holds a fully materialized CSV measurement trace — only the
+// payload-length inference path needs one.
+type trace struct {
+	series   csi.Series
+	states   []bool // per-packet tag state, when present
+	hasState bool
+}
+
+// parseTrace reads the whole trace through a rowParser, cloning each
+// reused row into the series.
+func parseTrace(r io.Reader) (*trace, error) {
+	p, err := newRowParser(r)
+	if err != nil {
+		return nil, err
+	}
+	tr := &trace{hasState: p.hasState}
+	for {
+		m, state, ok, err := p.next()
 		if err != nil {
 			return nil, err
 		}
-		ts, err := strconv.ParseFloat(row[tsCol], 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad timestamp %q: %w", row[tsCol], err)
+		if !ok {
+			break
 		}
-		m := csi.Measurement{Timestamp: ts}
-		if len(csiCols) > 0 {
-			m.CSI = make([][]float64, maxAnt+1)
-			for a := range m.CSI {
-				m.CSI[a] = make([]float64, maxSub+1)
-			}
-			m.RSSI = make([]float64, maxAnt+1)
-			for _, c := range csiCols {
-				v, err := strconv.ParseFloat(row[c.col], 64)
-				if err != nil {
-					return nil, fmt.Errorf("bad CSI value: %w", err)
-				}
-				m.CSI[c.ant][c.sub] = v
-			}
-		} else {
-			m.CSI = make([][]float64, maxAnt+1)
-			m.RSSI = make([]float64, maxAnt+1)
-			for a := range m.CSI {
-				m.CSI[a] = []float64{0}
-			}
-			for _, c := range rssiCols {
-				v, err := strconv.ParseFloat(row[c.col], 64)
-				if err != nil {
-					return nil, fmt.Errorf("bad RSSI value: %w", err)
-				}
-				m.RSSI[c.ant] = v
-			}
+		clone := csi.Measurement{
+			Timestamp: m.Timestamp,
+			CSI:       make([][]float64, len(m.CSI)),
+			RSSI:      append([]float64(nil), m.RSSI...),
 		}
-		tr.series.Append(m)
-		if hasState {
-			tr.states = append(tr.states, row[stateCol] == "1")
+		for a := range m.CSI {
+			clone.CSI[a] = append([]float64(nil), m.CSI[a]...)
+		}
+		tr.series.Append(clone)
+		if p.hasState {
+			tr.states = append(tr.states, state)
 		}
 	}
 	return tr, nil
 }
 
-// groundTruth reconstructs the transmitted payload bits from the trace's
-// tag_state column by majority over each bit window.
-func (tr *trace) groundTruth(start, bitDur float64, nbits int) []bool {
-	ones := make([]int, nbits)
-	total := make([]int, nbits)
-	for i, m := range tr.series.Measurements {
-		j := int((m.Timestamp - start) / bitDur)
-		if j < 0 || j >= nbits {
-			continue
-		}
-		total[j]++
-		if tr.states[i] {
-			ones[j]++
-		}
+// truthAccum accumulates ground truth from the tag_state column in fixed
+// space: per-bit one/total counters over the frame, majority at the end.
+// It replicates trace.groundTruth bit for bit (same int() truncation).
+type truthAccum struct {
+	start, bitDur float64
+	ones, total   []int
+}
+
+func newTruthAccum(start, bitDur float64, nbits int) *truthAccum {
+	return &truthAccum{start: start, bitDur: bitDur, ones: make([]int, nbits), total: make([]int, nbits)}
+}
+
+func (ta *truthAccum) add(ts float64, state bool) {
+	j := int((ts - ta.start) / ta.bitDur)
+	if j < 0 || j >= len(ta.total) {
+		return
 	}
-	bits := make([]bool, nbits)
+	ta.total[j]++
+	if state {
+		ta.ones[j]++
+	}
+}
+
+func (ta *truthAccum) bits() []bool {
+	bits := make([]bool, len(ta.total))
 	for j := range bits {
-		bits[j] = ones[j]*2 > total[j]
+		bits[j] = ta.ones[j]*2 > ta.total[j]
 	}
 	return bits
 }
 
-func run(in io.Reader, out io.Writer, rate, start float64, payloadLen int, mode string) error {
+// groundTruth reconstructs the transmitted payload bits from the trace's
+// tag_state column by majority over each bit window.
+func (tr *trace) groundTruth(start, bitDur float64, nbits int) []bool {
+	ta := newTruthAccum(start, bitDur, nbits)
+	for i, m := range tr.series.Measurements {
+		ta.add(m.Timestamp, tr.states[i])
+	}
+	return ta.bits()
+}
+
+func run(in io.Reader, out io.Writer, rate, start float64, payloadLen int, mode string, follow bool) error {
 	if rate <= 0 {
 		return fmt.Errorf("rate must be positive")
 	}
+	var smode uplink.StreamMode
+	switch mode {
+	case "csi":
+		smode = uplink.StreamCSI
+	case "rssi":
+		smode = uplink.StreamRSSI
+	default:
+		return fmt.Errorf("unknown -mode %q", mode)
+	}
+	bitDur := 1 / rate
+	if payloadLen <= 0 {
+		if follow {
+			return fmt.Errorf("-follow requires an explicit -payload (inferring the length needs the whole trace)")
+		}
+		return runInferred(in, out, rate, start, mode)
+	}
+
+	// Streaming path: constant memory in the trace length. One reused row,
+	// the decoder's frame-bounded arena, and fixed-size truth counters.
+	p, err := newRowParser(in)
+	if err != nil {
+		return err
+	}
+	dec, err := uplink.NewDecoder(uplink.DefaultConfig(bitDur))
+	if err != nil {
+		return err
+	}
+	sd, err := dec.NewStream(start, payloadLen, smode)
+	if err != nil {
+		return err
+	}
+	nbits := 13 + payloadLen + 13
+	var truth *truthAccum
+	if p.hasState {
+		truth = newTruthAccum(start, bitDur, nbits)
+	}
+	count := 0
+	emittedLive := false
+	for {
+		m, state, ok, err := p.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		count++
+		if truth != nil {
+			truth.add(m.Timestamp, state)
+		}
+		bits, err := sd.Push(m)
+		if err != nil {
+			return err
+		}
+		if follow && len(bits) > 0 {
+			printLive(out, bits)
+			emittedLive = true
+		}
+	}
+	if count == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+	res, err := sd.Flush()
+	if err != nil {
+		return err
+	}
+	if follow && !emittedLive {
+		// The trace ended inside the frame, so the bits only exist now.
+		printLive(out, sd.Bits())
+	}
+	summarize(out, dec, res, count, payloadLen, truth)
+	return nil
+}
+
+// printLive prints bit decisions the moment Push emits them.
+func printLive(out io.Writer, bits []uplink.BitDecision) {
+	for _, b := range bits {
+		bit := 0
+		if b.Bit {
+			bit = 1
+		}
+		fmt.Fprintf(out, "bit %3d = %d  (%d measurements)\n", b.Index, bit, b.Measurements)
+	}
+}
+
+// summarize prints the decode report shared by both paths.
+func summarize(out io.Writer, dec *uplink.Decoder, res *uplink.Result, measurements, payloadLen int, truth *truthAccum) {
+	fmt.Fprintf(out, "measurements:        %d\n", measurements)
+	fmt.Fprintf(out, "payload bits:        %d\n", payloadLen)
+	fmt.Fprintf(out, "measurements/bit:    %.1f\n", res.MeasurementsPerBit)
+	fmt.Fprintf(out, "preamble correlation: %.3f (detected: %v)\n",
+		res.PreambleCorrelation, dec.Detected(res))
+	fmt.Fprintf(out, "channels used:       %v\n", res.Good)
+	fmt.Fprintf(out, "bits: %s\n", bitString(res.Payload))
+	if truth != nil {
+		tbits := truth.bits()
+		errs := 0
+		for i := 0; i < payloadLen; i++ {
+			if res.Payload[i] != tbits[13+i] {
+				errs++
+			}
+		}
+		fmt.Fprintf(out, "ground truth BER:    %d/%d = %.2e\n",
+			errs, payloadLen, float64(errs)/float64(payloadLen))
+	}
+}
+
+// runInferred is the materialized path: payload length comes from the
+// trace span, so the whole trace must be read before decoding.
+func runInferred(in io.Reader, out io.Writer, rate, start float64, mode string) error {
 	tr, err := parseTrace(in)
 	if err != nil {
 		return err
@@ -171,13 +363,10 @@ func run(in io.Reader, out io.Writer, rate, start float64, payloadLen int, mode 
 		return fmt.Errorf("trace is empty")
 	}
 	bitDur := 1 / rate
+	last := tr.series.Measurements[tr.series.Len()-1].Timestamp
+	payloadLen := int((last-start)/bitDur) - 26
 	if payloadLen <= 0 {
-		// Infer from the span after the start time, minus framing.
-		last := tr.series.Measurements[tr.series.Len()-1].Timestamp
-		payloadLen = int((last-start)/bitDur) - 26
-		if payloadLen <= 0 {
-			return fmt.Errorf("trace too short to infer a payload length")
-		}
+		return fmt.Errorf("trace too short to infer a payload length")
 	}
 	dec, err := uplink.NewDecoder(uplink.DefaultConfig(bitDur))
 	if err != nil {
@@ -189,30 +378,18 @@ func run(in io.Reader, out io.Writer, rate, start float64, payloadLen int, mode 
 		res, err = dec.DecodeCSI(&tr.series, start, payloadLen)
 	case "rssi":
 		res, err = dec.DecodeRSSI(&tr.series, start, payloadLen)
-	default:
-		return fmt.Errorf("unknown -mode %q", mode)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "measurements:        %d\n", tr.series.Len())
-	fmt.Fprintf(out, "payload bits:        %d\n", payloadLen)
-	fmt.Fprintf(out, "measurements/bit:    %.1f\n", res.MeasurementsPerBit)
-	fmt.Fprintf(out, "preamble correlation: %.3f (detected: %v)\n",
-		res.PreambleCorrelation, dec.Detected(res))
-	fmt.Fprintf(out, "channels used:       %v\n", res.Good)
-	fmt.Fprintf(out, "bits: %s\n", bitString(res.Payload))
+	var truth *truthAccum
 	if tr.hasState {
-		truth := tr.groundTruth(start, bitDur, 13+payloadLen+13)
-		errs := 0
-		for i := 0; i < payloadLen; i++ {
-			if res.Payload[i] != truth[13+i] {
-				errs++
-			}
+		truth = newTruthAccum(start, bitDur, 13+payloadLen+13)
+		for i, m := range tr.series.Measurements {
+			truth.add(m.Timestamp, tr.states[i])
 		}
-		fmt.Fprintf(out, "ground truth BER:    %d/%d = %.2e\n",
-			errs, payloadLen, float64(errs)/float64(payloadLen))
 	}
+	summarize(out, dec, res, tr.series.Len(), payloadLen, truth)
 	return nil
 }
 

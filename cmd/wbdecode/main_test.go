@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/uplink"
 )
 
 // buildCSV synthesizes a small but decodable CSI trace: 2 antennas × 4
@@ -74,7 +76,7 @@ func buildCSV(t *testing.T, withState bool, rssiOnly bool) (string, []bool) {
 func TestRunDecodesCSITrace(t *testing.T) {
 	csvData, _ := buildCSV(t, true, false)
 	var out strings.Builder
-	if err := run(strings.NewReader(csvData), &out, 100, 1.0, 20, "csi"); err != nil {
+	if err := run(strings.NewReader(csvData), &out, 100, 1.0, 20, "csi", false); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -89,7 +91,7 @@ func TestRunDecodesCSITrace(t *testing.T) {
 func TestRunDecodesRSSITrace(t *testing.T) {
 	csvData, _ := buildCSV(t, true, true)
 	var out strings.Builder
-	if err := run(strings.NewReader(csvData), &out, 100, 1.0, 20, "rssi"); err != nil {
+	if err := run(strings.NewReader(csvData), &out, 100, 1.0, 20, "rssi", false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "10101010101010101010") {
@@ -100,7 +102,7 @@ func TestRunDecodesRSSITrace(t *testing.T) {
 func TestRunInfersPayloadLength(t *testing.T) {
 	csvData, _ := buildCSV(t, false, false)
 	var out strings.Builder
-	if err := run(strings.NewReader(csvData), &out, 100, 1.0, 0, "csi"); err != nil {
+	if err := run(strings.NewReader(csvData), &out, 100, 1.0, 0, "csi", false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "payload bits:") {
@@ -113,18 +115,115 @@ func TestRunInfersPayloadLength(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(strings.NewReader("a,b\n"), &strings.Builder{}, 100, 1, 10, "csi"); err == nil {
+	if err := run(strings.NewReader("a,b\n"), &strings.Builder{}, 100, 1, 10, "csi", false); err == nil {
 		t.Error("headers without measurements should error")
 	}
-	if err := run(strings.NewReader("timestamp,csi_a0_s0\n"), &strings.Builder{}, 100, 1, 10, "csi"); err == nil {
+	if err := run(strings.NewReader("timestamp,csi_a0_s0\n"), &strings.Builder{}, 100, 1, 10, "csi", false); err == nil {
 		t.Error("empty trace should error")
 	}
 	csvData, _ := buildCSV(t, true, false)
-	if err := run(strings.NewReader(csvData), &strings.Builder{}, 0, 1, 10, "csi"); err == nil {
+	if err := run(strings.NewReader(csvData), &strings.Builder{}, 0, 1, 10, "csi", false); err == nil {
 		t.Error("zero rate should error")
 	}
-	if err := run(strings.NewReader(csvData), &strings.Builder{}, 100, 1, 10, "nope"); err == nil {
+	if err := run(strings.NewReader(csvData), &strings.Builder{}, 100, 1, 10, "nope", false); err == nil {
 		t.Error("unknown mode should error")
+	}
+}
+
+// TestRunFollowPrintsBitsBeforeSummary pins the -follow contract: every
+// payload bit prints as a live `bit N = B` line (emitted at frame close,
+// before the trace ends) ahead of the summary block, and the live bits
+// agree with the summary's bit string.
+func TestRunFollowPrintsBitsBeforeSummary(t *testing.T) {
+	csvData, payload := buildCSV(t, true, false)
+	var out strings.Builder
+	if err := run(strings.NewReader(csvData), &out, 100, 1.0, 20, "csi", true); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for i, b := range payload {
+		bit := 0
+		if b {
+			bit = 1
+		}
+		line := fmt.Sprintf("bit %3d = %d", i, bit)
+		if !strings.Contains(text, line) {
+			t.Errorf("live output missing %q:\n%s", line, text)
+		}
+	}
+	lastLive := strings.LastIndex(text, "bit  19")
+	summary := strings.Index(text, "measurements:")
+	if lastLive == -1 || summary == -1 || lastLive > summary {
+		t.Errorf("live bits should print before the summary:\n%s", text)
+	}
+}
+
+// TestRunFollowRequiresPayload pins the flag interaction: inferring the
+// payload length needs the whole trace, which contradicts -follow.
+func TestRunFollowRequiresPayload(t *testing.T) {
+	csvData, _ := buildCSV(t, false, false)
+	err := run(strings.NewReader(csvData), &strings.Builder{}, 100, 1.0, 0, "csi", true)
+	if err == nil || !strings.Contains(err.Error(), "-follow requires") {
+		t.Errorf("follow without payload: got %v", err)
+	}
+}
+
+// TestRunFollowTruncatedTrace pins the flush-time tail: when the trace
+// ends inside the frame the bits only exist at Flush, and -follow still
+// prints every one of them.
+func TestRunFollowTruncatedTrace(t *testing.T) {
+	csvData, _ := buildCSV(t, true, false)
+	// Keep the header plus rows up to t=1.25s: mid-frame for a 20-bit
+	// payload (frame spans 1.0–1.46s).
+	lines := strings.Split(csvData, "\n")
+	trunc := lines[:1+1250]
+	var out strings.Builder
+	if err := run(strings.NewReader(strings.Join(trunc, "\n")), &out, 100, 1.0, 20, "csi", true); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(out.String(), "bit "); n != 20 {
+		t.Errorf("truncated follow printed %d bit lines, want 20:\n%s", n, out.String())
+	}
+}
+
+// TestStreamingMatchesMaterialized pins the refactor's equivalence at the
+// CLI layer: the explicit-payload streaming path and the legacy
+// materialized decode print identical summaries.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	csvData, _ := buildCSV(t, true, false)
+	var streamed strings.Builder
+	if err := run(strings.NewReader(csvData), &streamed, 100, 1.0, 20, "csi", false); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := parseTrace(strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.series.Len() != 2000 {
+		t.Fatalf("parsed %d rows", tr.series.Len())
+	}
+	// The inference path materializes; with this trace span it infers a
+	// payload of int((1.999-1.0)/0.01)-26 = 73 bits, so compare against a
+	// batch decode at the explicit length instead.
+	var batchOut strings.Builder
+	func() {
+		dec, err := uplink.NewDecoder(uplink.DefaultConfig(0.01))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dec.DecodeCSI(&tr.series, 1.0, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := newTruthAccum(1.0, 0.01, 13+20+13)
+		for i, m := range tr.series.Measurements {
+			truth.add(m.Timestamp, tr.states[i])
+		}
+		summarize(&batchOut, dec, res, tr.series.Len(), 20, truth)
+	}()
+	if streamed.String() != batchOut.String() {
+		t.Errorf("streamed CLI output differs from materialized decode:\n--- streamed ---\n%s--- batch ---\n%s",
+			streamed.String(), batchOut.String())
 	}
 }
 

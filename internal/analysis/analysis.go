@@ -103,6 +103,9 @@ type Config struct {
 	// FloatScope lists package-path prefixes where floatsafe applies (the
 	// DSP/decoder/eval code operating on measurement series).
 	FloatScope []string
+	// StreamScope lists package paths where streamhygiene applies (the
+	// stream-stage packages whose per-push state must stay bounded).
+	StreamScope []string
 	// RngRootDeny lists packages forbidden from minting rng root streams
 	// (rng.New, rng.TrialStream). These packages must be handed a
 	// *rng.Stream by the composition root — core derives the fault
@@ -142,6 +145,12 @@ func DefaultConfig() *Config {
 			mod + "/internal/reader",
 			mod + "/internal/inventory",
 		},
+		StreamScope: []string{
+			// The streaming decode path: StreamDecoder state in uplink
+			// and the measurement containers in csi.
+			mod + "/internal/uplink",
+			mod + "/internal/csi",
+		},
 		RngRootDeny: []string{
 			// The fault injector receives its stream from core (see
 			// core.Config.Faults); it must never mint its own root.
@@ -158,6 +167,21 @@ func (c *Config) inFloatScope(pkgPath string) bool {
 		return true
 	}
 	for _, p := range c.FloatScope {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// inStreamScope reports whether streamhygiene applies to a package path.
+// Fixture packages (under a testdata directory) are always in scope so the
+// analyzer can be exercised by tests, mirroring inFloatScope.
+func (c *Config) inStreamScope(pkgPath string) bool {
+	if strings.Contains(pkgPath, "/testdata/") {
+		return true
+	}
+	for _, p := range c.StreamScope {
 		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
 			return true
 		}
@@ -187,6 +211,7 @@ func Analyzers() []*Analyzer {
 		PoolHygieneAnalyzer,
 		FloatSafeAnalyzer,
 		UnitCheckAnalyzer,
+		StreamHygieneAnalyzer,
 	}
 }
 

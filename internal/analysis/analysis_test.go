@@ -120,12 +120,16 @@ func TestUnitCheckFixture(t *testing.T) {
 	checkFixture(t, "unitcheck", []*Analyzer{UnitCheckAnalyzer})
 }
 
+func TestStreamHygieneFixture(t *testing.T) {
+	checkFixture(t, "streamhygiene", []*Analyzer{StreamHygieneAnalyzer})
+}
+
 // TestAnalyzerDisabledWouldFail pins the property the acceptance criteria
 // names: each fixture contains at least one finding, so disabling its
 // analyzer (running none) leaves want comments unmatched and the fixture
 // test red.
 func TestAnalyzerDisabledWouldFail(t *testing.T) {
-	for _, fixture := range []string{"determinism", "poolhygiene", "floatsafe", "unitcheck"} {
+	for _, fixture := range []string{"determinism", "poolhygiene", "floatsafe", "unitcheck", "streamhygiene"} {
 		pkg := loadFixture(t, fixture)
 		if n := len(fixtureWants(pkg)); n == 0 {
 			t.Errorf("fixture %s has no want comments; a disabled analyzer would go unnoticed", fixture)

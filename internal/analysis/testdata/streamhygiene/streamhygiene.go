@@ -1,0 +1,62 @@
+// Package streamhygiene exercises the streamhygiene analyzer: append
+// accumulation on receiver fields (per-push pipeline state that grows with
+// trace length) is flagged; appends to locals, to result structs under
+// construction, and rebinds from other sources are bounded by their scope
+// and stay silent.
+package streamhygiene
+
+// stage mimics a streaming pipeline stage carrying per-push state.
+type stage struct {
+	history []float64
+	bins    []int
+	scratch []float64
+}
+
+// push accumulates unboundedly on a receiver field: the SH001 shape.
+func (s *stage) push(v float64) {
+	s.history = append(s.history, v) // want "receiver field s.history grows via append"
+}
+
+// pushMany accumulates on two fields in one statement: both flagged.
+func (s *stage) pushMany(v float64, b int) {
+	s.history, s.bins = append(s.history, v), append(s.bins, b) // want "s.history grows via append" "s.bins grows via append"
+}
+
+// rebind replaces a field from a different source; not self-accumulation.
+func (s *stage) rebind(v float64) {
+	s.scratch = append(s.history, v)
+}
+
+// localAppend grows a local, bounded by the call; silent.
+func (s *stage) localAppend(vs []float64) float64 {
+	var acc []float64
+	for _, v := range vs {
+		acc = append(acc, v)
+	}
+	if len(acc) == 0 {
+		return 0
+	}
+	return acc[len(acc)-1]
+}
+
+// result is a value under construction, not stream state.
+type result struct {
+	items []int
+}
+
+// build appends to a local result struct's field; silent (the struct's
+// lifetime is the call).
+func (s *stage) build(n int) *result {
+	res := &result{}
+	for i := 0; i < n; i++ {
+		res.items = append(res.items, i)
+	}
+	return res
+}
+
+// freeFunc has no receiver; field appends on parameters are the caller's
+// contract, silent here.
+func freeFunc(st *stage, v float64) {
+	st.scratch = st.scratch[:0]
+	st.scratch = append(st.scratch, v)
+}

@@ -118,6 +118,7 @@ type System struct {
 	placements map[*wifi.Station]placement
 	txLog      []*wifi.Transmission
 	logEnabled bool
+	onMeasure  []func(csi.Measurement)
 }
 
 // NewSystem assembles a deployment from the config.
@@ -219,8 +220,22 @@ func NewSystem(cfg Config) (*System, error) {
 			return // the flaky capture path dropped this packet's report
 		}
 		s.series.Append(m)
+		for _, fn := range s.onMeasure {
+			fn(m)
+		}
 	})
 	return s, nil
+}
+
+// OnMeasurement registers a hook invoked for every measurement the reader
+// captures, in capture order, after it lands in the system's series. This
+// is the online path: a reader.LiveSession subscribed here decodes during
+// the simulation instead of batch-processing Series() afterwards. Hooks
+// run inside the measurement listener, so they must not mutate the
+// system; the measurement's slices are owned by the series and must be
+// treated as read-only.
+func (s *System) OnMeasurement(fn func(csi.Measurement)) {
+	s.onMeasure = append(s.onMeasure, fn)
 }
 
 // faultStreamSalt derives the fault injector's rng root from the system

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/reader"
+	"repro/internal/tag"
+	"repro/internal/uplink"
+	"repro/internal/wifi"
+)
+
+// TestLiveSessionMatchesBatchDecode runs the online decode path end to
+// end: a reader.LiveSession subscribed via OnMeasurement decodes during
+// the simulation, and its result must be byte-identical to the batch
+// decode of the full collected series afterwards — the system-level form
+// of the stream/batch equivalence property.
+func TestLiveSessionMatchesBatchDecode(t *testing.T) {
+	sys, err := NewSystem(Config{Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	(&wifi.CBRSource{Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 0.001}).Start()
+	payload := RandomPayload(45, 71)
+	mod, err := sys.TransmitUplink(tag.FrameBits(payload), 1.0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := sys.UplinkDecoder(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const retention = 0.2
+	ls, err := reader.NewLiveSession(dec, mod.Start(), 45, uplink.StreamCSI, retention)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.OnMeasurement(ls.OnMeasurement)
+	sys.Run(mod.End() + 0.5)
+
+	if err := ls.Err(); err != nil {
+		t.Fatalf("live session hit a push error: %v", err)
+	}
+	// The sim ran past the frame end, so the payload decoded online,
+	// before the run finished.
+	if !ls.Done() {
+		t.Fatal("frame did not close during the run")
+	}
+	if len(ls.Bits()) != 45 {
+		t.Fatalf("live session emitted %d bits, want 45", len(ls.Bits()))
+	}
+	live, err := ls.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := dec.DecodeCSI(sys.Series(), mod.Start(), 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, batch) {
+		t.Errorf("live decode differs from batch:\nlive:  %+v\nbatch: %+v", live, batch)
+	}
+	if errs := CountBitErrors(live.Payload, payload); errs != 0 {
+		t.Errorf("live decode produced %d bit errors at 5 cm", errs)
+	}
+
+	// Bounded retention: the window holds only the trailing slice, not
+	// the whole trace.
+	win := ls.Window()
+	if win.Len() == 0 || win.Len() >= sys.Series().Len()/2 {
+		t.Errorf("retained window has %d of %d measurements; retention is not bounding it",
+			win.Len(), sys.Series().Len())
+	}
+	last := win.Measurements[win.Len()-1].Timestamp
+	if first := win.Measurements[0].Timestamp; last-first > retention+1e-9 {
+		t.Errorf("window spans %v s, want <= %v", last-first, retention)
+	}
+}

@@ -160,7 +160,35 @@ type Series struct {
 }
 
 // Append adds a measurement.
+//
+//wblint:ignore SH001 Series is the materialized-trace container by design; live paths bound it with TrimBefore and batch paths are bounded by the run length
 func (s *Series) Append(m Measurement) { s.Measurements = append(s.Measurements, m) }
+
+// TrimBefore drops every measurement whose timestamp is below t, sliding
+// the survivors to the front of the existing backing array so the storage
+// is reused rather than reallocated. Measurements are assumed to be in
+// arrival (non-decreasing timestamp) order, as Append produces them.
+//
+// This is the live reader's retention knob: a session that decodes online
+// (see internal/reader.LiveSession) keeps only the recent window it may
+// still need, so a long-running capture stays bounded instead of growing
+// with trace length.
+func (s *Series) TrimBefore(t float64) {
+	drop := 0
+	for drop < len(s.Measurements) && s.Measurements[drop].Timestamp < t {
+		drop++
+	}
+	if drop == 0 {
+		return
+	}
+	n := copy(s.Measurements, s.Measurements[drop:])
+	// Zero the vacated tail so the dropped measurements' CSI/RSSI slices
+	// can be collected while the backing array lives on.
+	for i := n; i < len(s.Measurements); i++ {
+		s.Measurements[i] = Measurement{}
+	}
+	s.Measurements = s.Measurements[:n]
+}
 
 // Len returns the number of measurements.
 func (s *Series) Len() int { return len(s.Measurements) }
@@ -217,13 +245,24 @@ func (s *Series) CSIChannel(antenna, subchannel int) ([]float64, error) {
 	return s.CSIChannelInto(nil, antenna, subchannel)
 }
 
+// ValidateCSIChannel reports whether (antenna, subchannel) indexes a
+// channel of the series, with the same error the extractors return. The
+// decoder's single-channel entry points use it to reject a bad channel
+// before streaming any measurements.
+func (s *Series) ValidateCSIChannel(antenna, subchannel int) error {
+	if antenna < 0 || antenna >= s.Antennas() || subchannel < 0 || subchannel >= s.Subchannels() {
+		return fmt.Errorf("csi: channel (%d, %d) out of range (%d antennas, %d sub-channels)",
+			antenna, subchannel, s.Antennas(), s.Subchannels())
+	}
+	return nil
+}
+
 // CSIChannelInto is CSIChannel writing into dst when it has enough
 // capacity (a nil or short dst allocates). It lets the decoder reuse one
 // buffer across its 90-channel scan instead of allocating per channel.
 func (s *Series) CSIChannelInto(dst []float64, antenna, subchannel int) ([]float64, error) {
-	if antenna < 0 || antenna >= s.Antennas() || subchannel < 0 || subchannel >= s.Subchannels() {
-		return nil, fmt.Errorf("csi: channel (%d, %d) out of range (%d antennas, %d sub-channels)",
-			antenna, subchannel, s.Antennas(), s.Subchannels())
+	if err := s.ValidateCSIChannel(antenna, subchannel); err != nil {
+		return nil, err
 	}
 	if cap(dst) < len(s.Measurements) {
 		dst = make([]float64, len(s.Measurements))

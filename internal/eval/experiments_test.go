@@ -378,7 +378,8 @@ func TestSuiteExperimentListComplete(t *testing.T) {
 	for _, want := range []string{"fig3", "fig4", "fig5", "fig6", "fig10a", "fig10b",
 		"fig11", "fig12", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"fig19a", "fig19b", "fig20", "power", "abl-combine", "abl-decide",
-		"abl-bin", "abl-thresh", "inventory", "channels", "ack", "duty", "mac"} {
+		"abl-bin", "abl-thresh", "inventory", "channels", "ack", "duty", "mac",
+		"faults", "stream"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing from the suite", want)
 		}

@@ -153,6 +153,9 @@ func (s Suite) Experiments() []Experiment {
 		{"faults", "transaction resilience under injected faults", func() (*Table, error) {
 			return FaultResilience(opt)
 		}},
+		{"stream", "streaming decode: live vs batch equivalence", func() (*Table, error) {
+			return StreamEquivalence(opt)
+		}},
 	}
 }
 

@@ -1,0 +1,128 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/reader"
+	"repro/internal/tag"
+	"repro/internal/uplink"
+	"repro/internal/units"
+	"repro/internal/wifi"
+)
+
+// StreamEquivalence validates the streaming refactor at system scale: each
+// trial runs one simulation with a reader.LiveSession decoding online (the
+// incremental path) and then batch-decodes the same collected series (the
+// materialized path), comparing the decoded payloads bit for bit. The
+// table reports zero mismatches at every operating point for both CSI and
+// RSSI modes — the system-level form of the stream/batch equivalence
+// property the unit tests pin with DeepEqual.
+//
+// Fault schedules are deliberately not applied here: decode-time fault
+// draws would interleave differently between a mid-simulation decode and
+// a post-simulation one, which is a property of the injector's stream,
+// not of the decoder.
+func StreamEquivalence(opt Options) (*Table, error) {
+	opt = opt.withDefaults()
+	t := &Table{
+		Title: "Streaming decode: live (incremental) vs batch equivalence",
+		Note: "the StreamDecoder is the only decode implementation; a live session " +
+			"pushing measurements during the simulation must reproduce the batch " +
+			"decode of the full trace exactly, at every distance and in both modes",
+		Columns: []string{"distance", "mode", "trials", "bits compared", "mismatches", "identical"},
+	}
+	distances := []float64{5, 30, 65}
+	modes := []uplink.StreamMode{uplink.StreamCSI, uplink.StreamRSSI}
+	type point struct {
+		cm   float64
+		mode uplink.StreamMode
+	}
+	var points []point
+	for _, cm := range distances {
+		for _, mode := range modes {
+			points = append(points, point{cm, mode})
+		}
+	}
+	type outcome struct {
+		mismatches int
+		liveErrs   int // live-session push/flush failures (must be 0)
+	}
+	results, err := parallel.Map(opt.engine(), len(points)*opt.Trials, func(i int) (outcome, error) {
+		p := points[i/opt.Trials]
+		trial := i % opt.Trials
+		sys, err := core.NewSystem(core.Config{
+			Seed:              opt.Seed + int64(trial)*5003 + int64(p.cm)*7 + int64(p.mode),
+			TagReaderDistance: units.Centimeters(p.cm),
+		})
+		if err != nil {
+			return outcome{}, err
+		}
+		if err := (&wifi.CBRSource{
+			Station: sys.Helper, Dst: wifi.MAC{9}, Payload: 200, Interval: 1.0 / helperRate,
+		}).Start(); err != nil {
+			return outcome{}, err
+		}
+		payload := core.RandomPayload(opt.PayloadLen, opt.Seed+int64(trial)*11+int64(p.cm))
+		const bitRate = helperRate / 30
+		mod, err := sys.TransmitUplink(tag.FrameBits(payload), 1.0, bitRate)
+		if err != nil {
+			return outcome{}, err
+		}
+		dec, err := sys.UplinkDecoder(bitRate)
+		if err != nil {
+			return outcome{}, err
+		}
+		ls, err := reader.NewLiveSession(dec, mod.Start(), opt.PayloadLen, p.mode, 0)
+		if err != nil {
+			return outcome{}, err
+		}
+		sys.OnMeasurement(ls.OnMeasurement)
+		sys.Run(mod.End() + 0.5)
+		live, err := ls.Finish()
+		if err != nil {
+			return outcome{liveErrs: 1}, nil
+		}
+		var batch *uplink.Result
+		if p.mode == uplink.StreamRSSI {
+			batch, err = dec.DecodeRSSI(sys.Series(), mod.Start(), opt.PayloadLen)
+		} else {
+			batch, err = dec.DecodeCSI(sys.Series(), mod.Start(), opt.PayloadLen)
+		}
+		if err != nil {
+			return outcome{}, fmt.Errorf("batch decode after a clean live decode: %w", err)
+		}
+		out := outcome{}
+		for j := range batch.Payload {
+			if live.Payload[j] != batch.Payload[j] {
+				out.mismatches++
+			}
+		}
+		if dec.Detected(live) != dec.Detected(batch) {
+			out.mismatches++
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range points {
+		mismatches, liveErrs := 0, 0
+		for trial := 0; trial < opt.Trials; trial++ {
+			o := results[pi*opt.Trials+trial]
+			mismatches += o.mismatches
+			liveErrs += o.liveErrs
+		}
+		bits := opt.Trials * opt.PayloadLen
+		t.AddRow(
+			fmt.Sprintf("%.0f cm", p.cm),
+			p.mode.String(),
+			fmt.Sprintf("%d", opt.Trials),
+			fmt.Sprintf("%d", bits),
+			fmt.Sprintf("%d", mismatches),
+			fmt.Sprintf("%v", mismatches == 0 && liveErrs == 0),
+		)
+	}
+	return t, nil
+}

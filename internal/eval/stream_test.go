@@ -1,0 +1,37 @@
+package eval
+
+import (
+	"testing"
+)
+
+// TestStreamEquivalenceExperiment runs the live-vs-batch validation at
+// smoke scale and requires every operating point to come back identical:
+// the experiment exists to certify the refactor, so any "false" cell is a
+// regression, not a finding to report.
+func TestStreamEquivalenceExperiment(t *testing.T) {
+	tab, err := StreamEquivalence(Options{Seed: 77, Trials: 2, PayloadLen: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 { // 3 distances × 2 modes
+		t.Fatalf("expected 6 rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[4] != "0" || row[5] != "true" {
+			t.Errorf("stream/batch divergence at %s (%s): %d mismatches, identical=%s",
+				row[0], row[1], mustInt(t, row[4]), row[5])
+		}
+	}
+}
+
+func mustInt(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("not a count: %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

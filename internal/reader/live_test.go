@@ -1,0 +1,108 @@
+package reader
+
+import (
+	"testing"
+
+	"repro/internal/csi"
+	"repro/internal/uplink"
+)
+
+func liveMeasurement(ts float64) csi.Measurement {
+	return csi.Measurement{Timestamp: ts, CSI: [][]float64{{1, 2}}, RSSI: []float64{3}}
+}
+
+func TestNewLiveSessionValidation(t *testing.T) {
+	dec, err := uplink.NewDecoder(uplink.DefaultConfig(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLiveSession(dec, 1.0, 10, uplink.StreamCSI, -1); err == nil {
+		t.Error("negative retention should error")
+	}
+	if _, err := NewLiveSession(dec, 1.0, 0, uplink.StreamCSI, 0); err == nil {
+		t.Error("zero payload should error")
+	}
+	if _, err := NewLiveSession(dec, 1.0, 10, uplink.StreamMode(99), 0); err == nil {
+		t.Error("unknown mode should error")
+	}
+}
+
+// TestLiveSessionPushErrorIsSticky pins the hook contract: the signature
+// cannot return an error, so the first failure poisons the session,
+// later measurements are dropped without panicking, and Finish reports it.
+func TestLiveSessionPushErrorIsSticky(t *testing.T) {
+	dec, err := uplink.NewDecoder(uplink.DefaultConfig(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := NewLiveSession(dec, 1.0, 10, uplink.StreamCSI, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls.OnMeasurement(liveMeasurement(0.5))
+	ls.OnMeasurement(liveMeasurement(0.4)) // out of order: poisons
+	if ls.Err() == nil {
+		t.Fatal("out-of-order measurement did not record an error")
+	}
+	first := ls.Err()
+	ls.OnMeasurement(liveMeasurement(0.6)) // dropped, error unchanged
+	if ls.Err() != first {
+		t.Error("later measurements overwrote the first error")
+	}
+	if _, err := ls.Finish(); err != first {
+		t.Errorf("Finish returned %v, want the recorded push error", err)
+	}
+}
+
+func TestLiveSessionFinishWithoutMeasurements(t *testing.T) {
+	dec, err := uplink.NewDecoder(uplink.DefaultConfig(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := NewLiveSession(dec, 1.0, 10, uplink.StreamCSI, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ls.Finish(); err == nil {
+		t.Error("Finish with no in-window measurements should error")
+	}
+}
+
+// TestLiveSessionRetentionWindow pins the bounded-retention behaviour and
+// that the window owns copies (mutating the caller's slices afterwards
+// must not reach the window).
+func TestLiveSessionRetentionWindow(t *testing.T) {
+	dec, err := uplink.NewDecoder(uplink.DefaultConfig(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := NewLiveSession(dec, 100.0, 10, uplink.StreamCSI, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := liveMeasurement(0.01)
+	ls.OnMeasurement(shared)
+	shared.CSI[0][0] = 999
+	for i := 2; i <= 20; i++ {
+		ls.OnMeasurement(liveMeasurement(float64(i) * 0.01))
+	}
+	win := ls.Window()
+	// Retention 0.05 behind the last timestamp 0.20 keeps ~[0.15, 0.20] —
+	// 5 or 6 measurements depending on which side of the cutoff the
+	// non-representable 0.15 lands, never the whole trace.
+	if win.Len() < 5 || win.Len() > 6 {
+		t.Fatalf("window holds %d measurements, want 5 or 6", win.Len())
+	}
+	if got := win.Measurements[0].Timestamp; got < 0.15-1e-9 {
+		t.Errorf("window starts at %v, want >= 0.15", got)
+	}
+	// The mutated source slice must not have reached the (long-evicted)
+	// clone — and more directly, clones are independent storage.
+	probe := liveMeasurement(0.21)
+	ls.OnMeasurement(probe)
+	probe.CSI[0][0] = -1
+	last := ls.Window().Measurements[ls.Window().Len()-1]
+	if last.CSI[0][0] != 1 {
+		t.Errorf("window shares storage with the caller: CSI[0][0] = %v", last.CSI[0][0])
+	}
+}

@@ -62,6 +62,84 @@ func BenchmarkDecodeLongRange(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamDecode measures one full streamed decode: N pushes plus
+// the frame-close decode, the wbdecode/live-reader hot path. Compare with
+// BenchmarkDecodeCSI — the only delta should be per-push call overhead.
+func BenchmarkStreamDecode(b *testing.B) {
+	s, mod, _ := benchSeries(b)
+	d, _ := NewDecoder(DefaultConfig(0.01))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sd, err := d.NewStream(mod.Start(), 90, StreamCSI)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range s.Measurements {
+			if _, err := sd.Push(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := sd.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamPush isolates the steady-state per-measurement cost: the
+// arena is pre-grown by a warm-up pass, so the measured loop is the pure
+// buffering path. Run with -benchmem; the contract is 0 allocs/op (pinned
+// by TestStreamPushSteadyStateAllocs in stream_alloc_test.go).
+func BenchmarkStreamPush(b *testing.B) {
+	s, mod, _ := benchSeries(b)
+	d, _ := NewDecoder(DefaultConfig(0.01))
+	// Keep timestamps strictly inside the frame so no push triggers the
+	// decode; recycle through fresh streams as b.N demands.
+	var inFrame []csi.Measurement
+	sd0, _ := d.NewStream(mod.Start(), 90, StreamCSI)
+	for _, m := range s.Measurements {
+		if m.Timestamp >= sd0.Start() && m.Timestamp < sd0.End() {
+			inFrame = append(inFrame, m)
+		}
+	}
+	if len(inFrame) == 0 {
+		b.Fatal("no in-frame measurements")
+	}
+	// Warm up: one full frame grows the arena and primes the dsp pool, so
+	// the measured pushes land in recycled buffers.
+	sd, _ := d.NewStream(mod.Start(), 90, StreamCSI)
+	for _, m := range inFrame {
+		if _, err := sd.Push(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := sd.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	sd, _ = d.NewStream(mod.Start(), 90, StreamCSI)
+	i := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if i == len(inFrame) {
+			// Frame turnover (flush + fresh stream) is off the steady-state
+			// path; exclude it so the number is the pure buffering cost.
+			b.StopTimer()
+			if _, err := sd.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			sd, _ = d.NewStream(mod.Start(), 90, StreamCSI)
+			i = 0
+			b.StartTimer()
+		}
+		if _, err := sd.Push(inFrame[i]); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
+	b.StopTimer()
+	sd.Flush()
+}
+
 func BenchmarkDetectAck(b *testing.B) {
 	mod, _ := tag.NewModulator(AckBits(), 1.0, 0.01)
 	cfg := defaultSynth()

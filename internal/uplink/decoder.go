@@ -269,6 +269,13 @@ type decoderMetrics struct {
 	emptyBins        *obs.Counter
 	corr             *obs.Histogram
 	measPerBit       *obs.Histogram
+
+	// Streaming-core accounting (see stream.go). The batch entry points
+	// are wrappers over the stream, so these tick for every decode.
+	streamPushes      *obs.Counter
+	streamBitsEmitted *obs.Counter
+	streamFlushBits   *obs.Counter // bits only finalized by Flush (truncated traces)
+	streamHighwater   *obs.Gauge   // frame-arena occupancy (max = high-water)
 }
 
 // Instrument registers the decoder's per-stage pipeline accounting on r
@@ -287,6 +294,11 @@ func (d *Decoder) Instrument(r *obs.Registry) {
 		emptyBins:        r.Counter("uplink.empty_bins"),
 		corr:             r.Histogram("uplink.preamble_correlation", obs.UnitBuckets),
 		measPerBit:       r.Histogram("uplink.measurements_per_bit", obs.LinearBuckets(0, 5, 16)),
+
+		streamPushes:      r.Counter("uplink.stream.pushes"),
+		streamBitsEmitted: r.Counter("uplink.stream.bits_emitted"),
+		streamFlushBits:   r.Counter("uplink.stream.flush_bits"),
+		streamHighwater:   r.Gauge("uplink.stream.buffer_highwater"),
 	}
 }
 
@@ -308,7 +320,11 @@ func NewDecoder(cfg Config) (*Decoder, error) {
 func (d *Decoder) Config() Config { return d.cfg }
 
 // DecodeCSI decodes a payload of payloadLen bits from the CSI series of a
-// transmission starting at start. The series must cover the transmission.
+// transmission starting at start. The series must cover the transmission
+// and its timestamps must be non-decreasing. It is a push-all-then-flush
+// wrapper over StreamDecoder (see stream.go): the streaming core is the
+// only decode implementation, and its output is byte-identical however the
+// same series is chunked into pushes.
 func (d *Decoder) DecodeCSI(s *csi.Series, start float64, payloadLen int) (*Result, error) {
 	if payloadLen <= 0 {
 		return nil, fmt.Errorf("uplink: payload length must be positive, got %d", payloadLen)
@@ -319,40 +335,12 @@ func (d *Decoder) DecodeCSI(s *csi.Series, start float64, payloadLen int) (*Resu
 	if err := s.CheckShape(); err != nil {
 		return nil, err
 	}
-	nbits := nFrameBits(payloadLen)
-	ts := s.Timestamps()
-	lo, hi := frameRange(ts, start, start+float64(nbits)*d.cfg.BitDuration)
-	if lo == hi {
-		return nil, fmt.Errorf("uplink: no measurements inside the transmission window")
-	}
-	ts = ts[lo:hi]
-	bins := binByTimestamp(ts, start, d.cfg.BitDuration, nbits)
-	// One pooled extraction buffer serves the whole 90-channel scan; each
-	// channel's conditioned series is pooled too and released after
-	// combining.
-	raw := dsp.GetSlice(s.Len())
-	defer func() { dsp.PutSlice(raw) }()
-	stats := make([]channelStats, 0, s.Antennas()*s.Subchannels())
-	defer func() { releaseStats(stats) }()
-	for a := 0; a < s.Antennas(); a++ {
-		for k := 0; k < s.Subchannels(); k++ {
-			var err error
-			raw, err = s.CSIChannelInto(raw, a, k)
-			if err != nil {
-				return nil, err
-			}
-			if d.Impair != nil {
-				d.Impair.ImpairChannel(ChannelID{a, k}, ts, raw[lo:hi])
-			}
-			stats = append(stats, analyzeChannel(ChannelID{a, k}, raw[lo:hi], ts, bins, d.cfg))
-			d.met.channelsAnalyzed.Inc()
-		}
-	}
-	return d.combineAndDecide(stats, bins, payloadLen)
+	return d.pushAll(s, start, payloadLen, StreamCSI, false, 0, 0)
 }
 
 // DecodeRSSI decodes using only RSSI: the antenna with the best preamble
-// correlation is selected (§3.3) and decoded alone.
+// correlation is selected (§3.3) and decoded alone. Like DecodeCSI it is a
+// thin wrapper over the streaming core.
 func (d *Decoder) DecodeRSSI(s *csi.Series, start float64, payloadLen int) (*Result, error) {
 	if payloadLen <= 0 {
 		return nil, fmt.Errorf("uplink: payload length must be positive, got %d", payloadLen)
@@ -363,39 +351,24 @@ func (d *Decoder) DecodeRSSI(s *csi.Series, start float64, payloadLen int) (*Res
 	if err := s.CheckShape(); err != nil {
 		return nil, err
 	}
-	nbits := nFrameBits(payloadLen)
-	ts := s.Timestamps()
-	lo, hi := frameRange(ts, start, start+float64(nbits)*d.cfg.BitDuration)
-	if lo == hi {
-		return nil, fmt.Errorf("uplink: no measurements inside the transmission window")
+	return d.pushAll(s, start, payloadLen, StreamRSSI, false, 0, 0)
+}
+
+// pushAll drives the streaming core over a whole series: push every
+// measurement, then flush. The stream runs in relaxed-timestamp mode,
+// preserving the historical batch contract that equal (non-decreasing)
+// timestamps are acceptable; the public Push is strict.
+func (d *Decoder) pushAll(s *csi.Series, start float64, payloadLen int, mode StreamMode, single bool, antenna, subchannel int) (*Result, error) {
+	sd, err := d.newStream(start, payloadLen, mode, single, antenna, subchannel, true)
+	if err != nil {
+		return nil, err
 	}
-	ts = ts[lo:hi]
-	bins := binByTimestamp(ts, start, d.cfg.BitDuration, nbits)
-	raw := dsp.GetSlice(s.Len())
-	defer func() { dsp.PutSlice(raw) }()
-	stats := make([]channelStats, 0, s.Antennas())
-	defer func() { releaseStats(stats) }()
-	for a := 0; a < s.Antennas(); a++ {
-		var err error
-		raw, err = s.RSSIChannelInto(raw, a)
-		if err != nil {
+	for _, m := range s.Measurements {
+		if _, err := sd.Push(m); err != nil {
 			return nil, err
 		}
-		if d.Impair != nil {
-			d.Impair.ImpairChannel(ChannelID{a, -1}, ts, raw[lo:hi])
-		}
-		stats = append(stats, analyzeChannel(ChannelID{a, -1}, raw[lo:hi], ts, bins, d.cfg))
-		d.met.channelsAnalyzed.Inc()
 	}
-	if len(stats) == 0 {
-		return nil, fmt.Errorf("uplink: series has no antennas")
-	}
-	// RSSI mode uses the single best channel.
-	sort.Slice(stats, func(i, j int) bool {
-		return math.Abs(stats[i].corr) > math.Abs(stats[j].corr)
-	})
-	d.met.channelsRejected.Add(int64(len(stats) - 1))
-	return d.combineSelected(stats[:1], bins, payloadLen)
+	return sd.Flush()
 }
 
 // combineAndDecide ranks channels by |preamble correlation|, keeps the top
@@ -513,7 +486,7 @@ func (d *Decoder) NormalizedChannel(s *csi.Series, antenna, subchannel int) ([]f
 
 // DecodeSingleChannel decodes the payload using exactly one CSI channel —
 // the "Random-Subchannel" baseline of Fig. 11 and the per-sub-channel BER
-// probe of Fig. 5.
+// probe of Fig. 5. It too wraps the streaming core.
 func (d *Decoder) DecodeSingleChannel(s *csi.Series, start float64, payloadLen, antenna, subchannel int) (*Result, error) {
 	if payloadLen <= 0 {
 		return nil, fmt.Errorf("uplink: payload length must be positive, got %d", payloadLen)
@@ -521,23 +494,8 @@ func (d *Decoder) DecodeSingleChannel(s *csi.Series, start float64, payloadLen, 
 	if err := s.CheckShape(); err != nil {
 		return nil, err
 	}
-	raw, err := s.CSIChannel(antenna, subchannel)
-	if err != nil {
+	if err := s.ValidateCSIChannel(antenna, subchannel); err != nil {
 		return nil, err
 	}
-	nbits := nFrameBits(payloadLen)
-	ts := s.Timestamps()
-	lo, hi := frameRange(ts, start, start+float64(nbits)*d.cfg.BitDuration)
-	if lo == hi {
-		return nil, fmt.Errorf("uplink: no measurements inside the transmission window")
-	}
-	ts = ts[lo:hi]
-	bins := binByTimestamp(ts, start, d.cfg.BitDuration, nbits)
-	if d.Impair != nil {
-		d.Impair.ImpairChannel(ChannelID{antenna, subchannel}, ts, raw[lo:hi])
-	}
-	st := analyzeChannel(ChannelID{antenna, subchannel}, raw[lo:hi], ts, bins, d.cfg)
-	defer dsp.PutSlice(st.cond)
-	d.met.channelsAnalyzed.Inc()
-	return d.combineSelected([]channelStats{st}, bins, payloadLen)
+	return d.pushAll(s, start, payloadLen, StreamCSI, true, antenna, subchannel)
 }

@@ -137,6 +137,70 @@ func FuzzDecodeCSI(f *testing.F) {
 	})
 }
 
+// FuzzStreamPush drives the streaming decoder with the same hostile byte
+// streams: out-of-order and duplicate timestamps, NaN amplitudes, and
+// jagged shapes. The contract under fuzz is (result, error) — malformed
+// input surfaces as a Push or Flush error, never a panic — and on fully
+// clean runs the bit count matches the payload length.
+func FuzzStreamPush(f *testing.F) {
+	f.Add(seedBytes(4096), uint8(3), uint8(30), 0.0, uint8(90), false)
+	f.Add(seedBytes(512), uint8(1), uint8(1), 0.01, uint8(1), true)
+	f.Add([]byte{255, 254, 253, 0, 1, 2}, uint8(2), uint8(4), math.NaN(), uint8(10), false)
+	// Non-monotonic time steps (17 trips the backwards-dt branch): the
+	// strict Push ordering check must reject these with an error.
+	f.Add(bytes.Repeat([]byte{10, 17, 0, 0}, 64), uint8(3), uint8(30), 0.0, uint8(16), false)
+	// Zero time steps make duplicate timestamps: strict mode rejects them.
+	f.Add(bytes.Repeat([]byte{0, 1, 120, 80}, 64), uint8(2), uint8(4), 0.0, uint8(8), true)
+	f.Fuzz(func(t *testing.T, data []byte, antsRaw, subsRaw uint8, start float64, payloadRaw uint8, rssi bool) {
+		ants := 1 + int(antsRaw)%4
+		subs := 1 + int(subsRaw)%32
+		payloadLen := 1 + int(payloadRaw)
+		mode := StreamCSI
+		if rssi {
+			mode = StreamRSSI
+		}
+		s := fuzzSeries(data, ants, subs)
+		d, err := NewDecoder(DefaultConfig(0.01))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := d.NewStream(start, payloadLen, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bits []BitDecision
+		pushErr := false
+		for _, m := range s.Measurements {
+			out, err := sd.Push(m)
+			if err != nil {
+				pushErr = true
+				// Errors are sticky: every later push must fail too.
+				if _, err := sd.Push(m); err == nil {
+					t.Fatal("stream accepted a push after an error")
+				}
+				break
+			}
+			bits = append(bits, out...)
+		}
+		res, err := sd.Flush()
+		if pushErr {
+			if err == nil {
+				t.Fatal("Flush succeeded on a poisoned stream")
+			}
+			return
+		}
+		if err == nil {
+			if len(res.Payload) != payloadLen {
+				t.Errorf("stream decode returned %d payload bits, want %d", len(res.Payload), payloadLen)
+			}
+			if got := len(sd.Bits()); got != payloadLen {
+				t.Errorf("stream emitted %d bit decisions, want %d", got, payloadLen)
+			}
+		}
+		_ = bits
+	})
+}
+
 // TestDecodeEmptySelection pins the empty-selection behaviour the fuzz
 // seeds above probe: a series whose measurements carry no antennas must
 // come back as a decode error from every entry point, never a panic.

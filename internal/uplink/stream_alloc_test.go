@@ -1,0 +1,71 @@
+//go:build !race
+
+// The race detector instruments allocations, so AllocsPerRun over-counts
+// under -race; this assertion only runs in the plain test pass (the
+// Makefile's `test` and `bench-stream` targets, not `race`).
+
+package uplink
+
+import (
+	"testing"
+
+	"repro/internal/csi"
+	"repro/internal/tag"
+)
+
+// TestStreamPushSteadyStateAllocs pins the ISSUE's memory contract: once
+// the frame arena has grown to size, Push is allocation-free. The arena
+// grows geometrically (pooled, doubling), so after warming up with most
+// of the frame its capacity covers the rest; the measured pushes are the
+// pure store-into-pre-grown-arena path.
+func TestStreamPushSteadyStateAllocs(t *testing.T) {
+	payload := randomPayload(45, 11)
+	mod, err := tag.NewModulator(tag.FrameBits(payload), 1.0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultSynth()
+	cfg.duration = mod.End() + 0.5
+	s := synthSeries(cfg, mod, 12)
+	d, _ := NewDecoder(DefaultConfig(0.01))
+
+	sd, err := d.NewStream(mod.Start(), 45, StreamCSI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inFrame []csi.Measurement
+	for _, m := range s.Measurements {
+		if m.Timestamp >= sd.Start() && m.Timestamp < sd.End() {
+			inFrame = append(inFrame, m)
+		}
+	}
+	const runs = 100
+	// AllocsPerRun calls the closure runs+1 times; keep that many pushes
+	// in reserve and warm up with everything before them.
+	tail := runs + 1
+	if len(inFrame) < 2*tail {
+		t.Fatalf("only %d in-frame measurements; synth config too short for the test", len(inFrame))
+	}
+	warm := inFrame[:len(inFrame)-tail]
+	for _, m := range warm {
+		if _, err := sd.Push(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The arena doubles, so capacity after warm-up is at least the next
+	// power of two past len(warm) >= len(inFrame): the tail pushes below
+	// cannot trigger another grow.
+	i := len(warm)
+	allocs := testing.AllocsPerRun(runs, func() {
+		if _, err := sd.Push(inFrame[i]); err != nil {
+			t.Fatalf("measured push %d: %v", i, err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Push allocates %.1f times per call, want 0", allocs)
+	}
+	if sd.Buffered() != len(inFrame) {
+		t.Fatalf("buffered %d, want %d", sd.Buffered(), len(inFrame))
+	}
+}
