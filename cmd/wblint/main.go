@@ -1,11 +1,14 @@
 // Command wblint runs the project's static-analysis suite (see
-// internal/analysis): determinism, poolhygiene, floatsafe, and unitcheck.
-// It parses and typechecks packages itself with the standard library, so it
-// works offline with no module dependencies.
+// internal/analysis): the intra-package analyzers (determinism,
+// poolhygiene, floatsafe, unitcheck, streamhygiene) plus the
+// interprocedural module analyzers (taint, poolescape, hotpath), which
+// follow values across every function boundary in the load set. It parses
+// and typechecks packages itself with the standard library, so it works
+// offline with no module dependencies.
 //
 // Usage:
 //
-//	wblint [-json] [packages]
+//	wblint [-json] [-codes] [packages]
 //
 // Packages are directories or "dir/..." patterns; the default is "./...".
 // Findings print as file:line:col: CODE message (analyzer). With -json the
@@ -26,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,7 +43,7 @@ func main() {
 	flag.Parse()
 
 	if *codes {
-		printCodes()
+		printCodes(os.Stdout)
 		return
 	}
 	diags, err := run(flag.Args())
@@ -128,15 +132,11 @@ func expand(pat string) ([]string, error) {
 	return []string{abs}, nil
 }
 
-// printCodes lists the suite's analyzers and diagnostic codes.
-func printCodes() {
-	for _, a := range analysis.Analyzers() {
-		fmt.Printf("%s: %s\n", a.Name, a.Doc)
-		for _, c := range a.Codes {
-			fmt.Printf("  %s  %s\n", c.Code, c.Summary)
-		}
+// printCodes writes the complete diagnostic-code catalog — one line per
+// code, sorted by code — straight from analysis.Catalog, so the listing
+// can never drift from what the binary actually emits.
+func printCodes(w io.Writer) {
+	for _, e := range analysis.Catalog() {
+		fmt.Fprintf(w, "%s  %-13s %s\n", e.Code, e.Analyzer, e.Summary)
 	}
-	fmt.Println("wblint: suppression-directive hygiene")
-	fmt.Println("  IG001  ignore directive missing a code or written reason")
-	fmt.Println("  IG002  ignore directive matches no finding")
 }

@@ -113,6 +113,14 @@ type Config struct {
 	// with or perturb the draws other subsystems consume; a locally minted
 	// root would reintroduce exactly that coupling.
 	RngRootDeny []string
+	// HotPathRoots lists the functions (keyed like WallClockAllow) whose
+	// entire static call closure the hotpath analyzer holds to allocation
+	// discipline. Functions can also opt in with //wblint:hotpath-root.
+	HotPathRoots []string
+	// HotPathBoxAllow lists fully-qualified functions whose interface
+	// parameters may receive boxed values even on the hot path — the
+	// error-path formatters, which only run when decode is already failing.
+	HotPathBoxAllow map[string]bool
 }
 
 // DefaultConfig returns the repository's wblint policy.
@@ -155,6 +163,18 @@ func DefaultConfig() *Config {
 			// The fault injector receives its stream from core (see
 			// core.Config.Faults); it must never mint its own root.
 			mod + "/internal/faults",
+		},
+		HotPathRoots: []string{
+			// The streaming decode entry point and the per-frame decode
+			// core: everything they can reach must hold 0 allocs/push
+			// (make bench-stream measures it; hotpath pinpoints it).
+			mod + "/internal/uplink.StreamDecoder.Push",
+			mod + "/internal/uplink.StreamDecoder.decode",
+		},
+		HotPathBoxAllow: map[string]bool{
+			// Error construction only runs when a push is already being
+			// rejected; boxing its operands is off the steady-state path.
+			"fmt.Errorf": true,
 		},
 	}
 }
@@ -204,7 +224,7 @@ func (c *Config) rngRootDenied(pkgPath string) bool {
 	return false
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the intra-package suite in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -213,6 +233,47 @@ func Analyzers() []*Analyzer {
 		UnitCheckAnalyzer,
 		StreamHygieneAnalyzer,
 	}
+}
+
+// ModuleAnalyzers returns the interprocedural suite in stable order. These
+// run once over the whole module (see callgraph.go) after the per-package
+// analyzers.
+func ModuleAnalyzers() []*ModuleAnalyzer {
+	return []*ModuleAnalyzer{
+		TaintAnalyzer,
+		PoolEscapeAnalyzer,
+		HotPathAnalyzer,
+	}
+}
+
+// CatalogEntry is one row of the complete diagnostic-code catalog.
+type CatalogEntry struct {
+	Code     string
+	Summary  string
+	Analyzer string
+}
+
+// Catalog returns every diagnostic code the suite can emit — intra-package
+// analyzers, module analyzers, and the directive checker — sorted by code.
+// cmd/wblint prints it for -codes, and tests hold the README against it.
+func Catalog() []CatalogEntry {
+	var out []CatalogEntry
+	for _, a := range Analyzers() {
+		for _, c := range a.Codes {
+			out = append(out, CatalogEntry{c.Code, c.Summary, a.Name})
+		}
+	}
+	for _, a := range ModuleAnalyzers() {
+		for _, c := range a.Codes {
+			out = append(out, CatalogEntry{c.Code, c.Summary, a.Name})
+		}
+	}
+	out = append(out,
+		CatalogEntry{codeMissingReason, "ignore directive lacks a code or a written reason", "wblint"},
+		CatalogEntry{codeUnusedIgnore, "ignore directive matches no finding", "wblint"},
+	)
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
 }
 
 // RunAnalyzers applies every analyzer in the list to pkg and returns the
@@ -238,17 +299,31 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer, cfg *Config) []Diagnostic
 // Check loads and analyzes pkg directories, applies the suppression
 // directives, and returns the surviving diagnostics in source order. It is
 // the one-call entry point used by cmd/wblint and the repo-clean test.
+//
+// The run has two layers: every package goes through the intra-package
+// analyzers on its own, then the loaded packages together form a Module
+// (call graph + summaries) for the interprocedural analyzers. Suppression
+// directives apply uniformly to both layers.
 func Check(l *Loader, dirs []string, cfg *Config) ([]Diagnostic, error) {
-	var diags []Diagnostic
+	var raw []Diagnostic
+	var pkgs []*Package
+	seen := map[string]bool{}
 	analyzers := Analyzers()
 	for _, dir := range dirs {
 		pkg, err := l.LoadDir(dir)
 		if err != nil {
 			return nil, err
 		}
-		raw := RunAnalyzers(pkg, analyzers, cfg)
-		diags = append(diags, ApplyIgnores(pkg, raw)...)
+		if seen[pkg.Path] {
+			continue
+		}
+		seen[pkg.Path] = true
+		pkgs = append(pkgs, pkg)
+		raw = append(raw, RunAnalyzers(pkg, analyzers, cfg)...)
 	}
+	m := NewModule(pkgs, cfg)
+	raw = append(raw, RunModuleAnalyzers(m, ModuleAnalyzers())...)
+	diags := applyIgnores(pkgs, raw)
 	SortDiagnostics(diags)
 	return diags, nil
 }

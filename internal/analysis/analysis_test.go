@@ -63,13 +63,10 @@ func fixtureWants(pkg *Package) map[string][]string {
 	return wants
 }
 
-// checkFixture runs analyzers over a fixture and matches diagnostics
-// against its want comments: every want must be produced, and every
-// diagnostic must be wanted.
-func checkFixture(t *testing.T, fixture string, analyzers []*Analyzer) {
+// matchWants compares diagnostics against a fixture's want comments: every
+// want must be produced, and every diagnostic must be wanted.
+func matchWants(t *testing.T, fixture string, pkg *Package, diags []Diagnostic) {
 	t.Helper()
-	pkg := loadFixture(t, fixture)
-	diags := RunAnalyzers(pkg, analyzers, DefaultConfig())
 	wants := fixtureWants(pkg)
 	if len(wants) == 0 {
 		t.Fatalf("fixture %s has no want comments", fixture)
@@ -104,6 +101,23 @@ func checkFixture(t *testing.T, fixture string, analyzers []*Analyzer) {
 	}
 }
 
+// checkFixture runs intra-package analyzers over a fixture and matches
+// diagnostics against its want comments.
+func checkFixture(t *testing.T, fixture string, analyzers []*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, fixture)
+	matchWants(t, fixture, pkg, RunAnalyzers(pkg, analyzers, DefaultConfig()))
+}
+
+// checkModuleFixture runs interprocedural analyzers over a fixture treated
+// as a one-package module (the fixture's call graph is self-contained).
+func checkModuleFixture(t *testing.T, fixture string, analyzers []*ModuleAnalyzer) {
+	t.Helper()
+	pkg := loadFixture(t, fixture)
+	m := NewModule([]*Package{pkg}, DefaultConfig())
+	matchWants(t, fixture, pkg, RunModuleAnalyzers(m, analyzers))
+}
+
 func TestDeterminismFixture(t *testing.T) {
 	checkFixture(t, "determinism", []*Analyzer{DeterminismAnalyzer})
 }
@@ -124,12 +138,80 @@ func TestStreamHygieneFixture(t *testing.T) {
 	checkFixture(t, "streamhygiene", []*Analyzer{StreamHygieneAnalyzer})
 }
 
+func TestTaintFixture(t *testing.T) {
+	checkModuleFixture(t, "taint", []*ModuleAnalyzer{TaintAnalyzer})
+}
+
+func TestPoolEscapeFixture(t *testing.T) {
+	checkModuleFixture(t, "poolescape", []*ModuleAnalyzer{PoolEscapeAnalyzer})
+}
+
+func TestHotPathFixture(t *testing.T) {
+	checkModuleFixture(t, "hotpath", []*ModuleAnalyzer{HotPathAnalyzer})
+}
+
+// TestMultiHopBeyondIntraprocedural pins the acceptance property of the
+// interprocedural layer: the taint and hotpath fixtures contain violations
+// whose sink is two calls from the source, reported by the module
+// analyzers and invisible to the whole intra-package suite.
+func TestMultiHopBeyondIntraprocedural(t *testing.T) {
+	cases := []struct {
+		fixture string
+		code    string
+		chain   string // a two-hop chain the diagnostic message must name
+	}{
+		{"taint", "DT005", "deriveSeed → clockSeed → time.Now"},
+		{"hotpath", "HP003", "process → stage1 → stage2"},
+	}
+	for _, tc := range cases {
+		pkg := loadFixture(t, tc.fixture)
+		m := NewModule([]*Package{pkg}, DefaultConfig())
+		inter := RunModuleAnalyzers(m, ModuleAnalyzers())
+		var hit *Diagnostic
+		for i, d := range inter {
+			if d.Code == tc.code && strings.Contains(d.Message, tc.chain) {
+				hit = &inter[i]
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("fixture %s: no %s naming the chain %q (got %v)", tc.fixture, tc.code, tc.chain, inter)
+			continue
+		}
+		for _, d := range RunAnalyzers(pkg, Analyzers(), DefaultConfig()) {
+			if d.Pos.Filename == hit.Pos.Filename && d.Pos.Line == hit.Pos.Line {
+				t.Errorf("fixture %s: intra-procedural %s on the multi-hop line %d — the case is not beyond the old suite",
+					tc.fixture, d.Code, d.Pos.Line)
+			}
+		}
+	}
+}
+
+// TestBuildConstraints pins the loader's build-constraint handling: the
+// tagged fixture's excluded files (unsatisfiable //go:build tag, foreign
+// _GOOS suffix) contain deliberate typecheck errors, so this load only
+// succeeds if both were filtered out.
+func TestBuildConstraints(t *testing.T) {
+	pkg := loadFixture(t, "tagged")
+	if len(pkg.Files) != 1 {
+		t.Fatalf("tagged fixture loaded %d files, want 1 (build-constrained files must be excluded)", len(pkg.Files))
+	}
+	name := filepath.Base(pkg.Fset.Position(pkg.Files[0].Pos()).Filename)
+	if name != "tagged.go" {
+		t.Errorf("tagged fixture loaded %s, want tagged.go", name)
+	}
+	if pkg.Types.Scope().Lookup("Ok") == nil {
+		t.Error("tagged fixture is missing Ok — wrong file survived the filter")
+	}
+}
+
 // TestAnalyzerDisabledWouldFail pins the property the acceptance criteria
 // names: each fixture contains at least one finding, so disabling its
 // analyzer (running none) leaves want comments unmatched and the fixture
 // test red.
 func TestAnalyzerDisabledWouldFail(t *testing.T) {
-	for _, fixture := range []string{"determinism", "poolhygiene", "floatsafe", "unitcheck", "streamhygiene"} {
+	for _, fixture := range []string{"determinism", "poolhygiene", "floatsafe", "unitcheck", "streamhygiene",
+		"taint", "poolescape", "hotpath"} {
 		pkg := loadFixture(t, fixture)
 		if n := len(fixtureWants(pkg)); n == 0 {
 			t.Errorf("fixture %s has no want comments; a disabled analyzer would go unnoticed", fixture)

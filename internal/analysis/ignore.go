@@ -73,9 +73,21 @@ func parseIgnores(fset *token.FileSet, file *ast.File) []*ignoreDirective {
 // (missing reason, unused directive). Directive-hygiene findings cannot be
 // suppressed.
 func ApplyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	return applyIgnores([]*Package{pkg}, diags)
+}
+
+// applyIgnores is ApplyIgnores over a set of packages: one directive pool,
+// one pass. Directive matching is filename-scoped and every file belongs to
+// exactly one package, so the result is identical to applying each
+// package's directives separately — except that module-wide diagnostics
+// (taint, poolescape, hotpath), which can land in any package, are also
+// covered, and directives suppressing only those do not read as stale.
+func applyIgnores(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	var dirs []*ignoreDirective
-	for _, f := range pkg.Files {
-		dirs = append(dirs, parseIgnores(pkg.Fset, f)...)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			dirs = append(dirs, parseIgnores(pkg.Fset, f)...)
+		}
 	}
 	var out []Diagnostic
 	for _, d := range diags {

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -179,8 +180,12 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	return pkg, nil
 }
 
-// parseDir parses the non-test Go files of dir in filename order (stable
-// order keeps diagnostics and typechecking deterministic).
+// parseDir parses the buildable non-test Go files of dir in filename order
+// (stable order keeps diagnostics and typechecking deterministic). A file
+// is buildable when its //go:build constraints and _GOOS/_GOARCH filename
+// suffixes match the host platform — the same files the go tool would
+// compile here — so a darwin-only or tag-gated file can land in the module
+// without typecheck-failing the suite on other platforms.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -192,6 +197,9 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !matchesHostBuild(dir, name) {
 			continue
 		}
 		names = append(names, name)
@@ -229,7 +237,13 @@ func WalkPackages(root string) ([]string, error) {
 		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
 			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
 			dir := filepath.Dir(path)
-			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			if len(dirs) > 0 && dirs[len(dirs)-1] == dir {
+				return nil
+			}
+			// Only count files the host build would compile, so a directory
+			// holding nothing but foreign-platform files is not reported as
+			// a package (loading it would fail with "no buildable files").
+			if matchesHostBuild(dir, name) {
 				dirs = append(dirs, dir)
 			}
 		}
@@ -240,6 +254,17 @@ func WalkPackages(root string) ([]string, error) {
 	}
 	sort.Strings(dirs)
 	return dirs, nil
+}
+
+// matchesHostBuild reports whether the go tool would compile dir/name on
+// the host platform: //go:build and // +build constraints plus _GOOS /
+// _GOARCH filename suffixes, evaluated against build.Default (honoring
+// GOOS/GOARCH overrides from the environment). Errors (unreadable file)
+// count as non-matching: the typechecker would fail on the file anyway,
+// and skipping it keeps the suite's no-crash contract.
+func matchesHostBuild(dir, name string) bool {
+	ok, err := build.Default.MatchFile(dir, name)
+	return err == nil && ok
 }
 
 // FindModuleRoot walks up from dir to the nearest directory containing

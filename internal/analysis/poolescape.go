@@ -1,0 +1,343 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolEscapeAnalyzer is the interprocedural extension of poolhygiene.
+// PH001–PH003 see a GetSlice and its uses inside one function; they are
+// blind to a pooled buffer that arrives from a callee. This analyzer
+// computes, bottom-up, which module functions can return a pooled buffer
+// (dsp.GetSlice directly, or any chain of calls ending in one), then flags
+// the ways such a transitively-acquired buffer can outlive its frame:
+//
+//   - PH004: a pooled buffer obtained from a callee is stored into a
+//     struct field, global, composite literal, map/slice element, or
+//     channel, or captured by a function literal that is not immediately
+//     invoked. Any of these lets the buffer survive past the PutSlice that
+//     will eventually recycle it.
+//   - PH005: a pooled buffer obtained from a callee is returned onward,
+//     widening the set of functions the buffer's release depends on.
+//
+// Direct escapes (GetSlice and return in the same function) stay PH003's
+// business; this analyzer deliberately reports only what an intra-
+// procedural pass cannot see, so the two never double-report. A buffer
+// that the function itself releases with dsp.PutSlice is exempt: passing
+// a scratch buffer down and releasing it here is the pool's intended use.
+var PoolEscapeAnalyzer = &ModuleAnalyzer{
+	Name: "poolescape",
+	Doc:  "pooled dsp buffers acquired through a call chain must not escape the acquiring frame",
+	Codes: []CodeDoc{
+		{"PH004", "transitively-acquired pooled buffer stored or captured beyond the frame (interprocedural)"},
+		{"PH005", "transitively-acquired pooled buffer returned onward (interprocedural)"},
+	},
+	Run: runPoolEscape,
+}
+
+// poolSummary is one function's boundary fact: can a call to it hand the
+// caller a live pooled buffer?
+type poolSummary struct {
+	returnsPooled bool
+	via           string
+}
+
+func runPoolEscape(p *ModulePass) {
+	sums := map[*types.Func]*poolSummary{}
+	p.Module.Graph.ForEachNode(func(n *CallNode) { sums[n.Fn] = &poolSummary{} })
+
+	// Phase 1: fixpoint over returns-pooled summaries.
+	p.Module.Fixpoint(func(n *CallNode) bool {
+		scan := newPoolScan(p, n, sums)
+		scan.run()
+		sum := sums[n.Fn]
+		if scan.returnsPooled && !sum.returnsPooled {
+			sum.returnsPooled = true
+			sum.via = scan.returnVia
+			return true
+		}
+		return false
+	})
+
+	// Phase 2: report transitive escapes.
+	p.Module.Graph.ForEachNode(func(n *CallNode) {
+		scan := newPoolScan(p, n, sums)
+		scan.run()
+		scan.report()
+	})
+}
+
+// pooledVal records how a variable came to hold a pooled buffer.
+type pooledVal struct {
+	// transitive is true when the buffer came from a callee rather than a
+	// GetSlice in this function. Only transitive values are reported.
+	transitive bool
+	via        string
+}
+
+// poolScan is the per-function local pass.
+type poolScan struct {
+	p    *ModulePass
+	node *CallNode
+	sums map[*types.Func]*poolSummary
+
+	calleesByCall map[*ast.CallExpr][]*types.Func
+	getName       string
+	putName       string
+
+	vars map[types.Object]pooledVal
+	// released holds variables passed to dsp.PutSlice here: locally managed
+	// scratch, exempt from escape reporting.
+	released map[types.Object]bool
+
+	returnsPooled bool
+	returnVia     string
+}
+
+func newPoolScan(p *ModulePass, n *CallNode, sums map[*types.Func]*poolSummary) *poolScan {
+	byCall := map[*ast.CallExpr][]*types.Func{}
+	for _, e := range n.Out {
+		byCall[e.Call] = append(byCall[e.Call], e.Callee)
+	}
+	return &poolScan{
+		p: p, node: n, sums: sums,
+		calleesByCall: byCall,
+		getName:       p.Config.ModulePath + "/internal/dsp.GetSlice",
+		putName:       p.Config.ModulePath + "/internal/dsp.PutSlice",
+		vars:          map[types.Object]pooledVal{},
+		released:      map[types.Object]bool{},
+	}
+}
+
+// run computes the function's pooled variables and return summary to a
+// local fixpoint.
+func (s *poolScan) run() {
+	for s.sweep() {
+	}
+}
+
+func (s *poolScan) sweep() bool {
+	changed := false
+	ast.Inspect(s.node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				v, ok := s.exprPooled(rhs)
+				if !ok {
+					continue
+				}
+				id, isIdent := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !isIdent {
+					continue // non-variable targets are handled in report()
+				}
+				obj := s.objOf(id)
+				if _, isVar := obj.(*types.Var); !isVar {
+					continue
+				}
+				if cur, seen := s.vars[obj]; !seen || (v.transitive && !cur.transitive) {
+					s.vars[obj] = v
+					changed = true
+				}
+			}
+		case *ast.CallExpr:
+			if s.isNamed(n, s.putName) && len(n.Args) > 0 {
+				if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+					obj := s.objOf(id)
+					if !s.released[obj] {
+						s.released[obj] = true
+						changed = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				v, ok := s.exprPooled(r)
+				if !ok {
+					continue
+				}
+				if !s.returnsPooled {
+					s.returnsPooled = true
+					s.returnVia = v.via
+					changed = true
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// exprPooled reports whether e evaluates to a pooled buffer, and how.
+func (s *poolScan) exprPooled(e ast.Expr) (pooledVal, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := s.objOf(e)
+		if v, ok := s.vars[obj]; ok && !s.released[obj] {
+			return v, true
+		}
+	case *ast.SliceExpr:
+		// buf[:n] shares the pooled backing array.
+		return s.exprPooled(e.X)
+	case *ast.CallExpr:
+		return s.callPooled(e)
+	}
+	return pooledVal{}, false
+}
+
+// callPooled resolves whether a call yields a pooled buffer: GetSlice
+// itself (direct), a module callee whose summary says so (transitive), or
+// append on a pooled buffer (same backing array until it grows — still
+// pool-owned memory either way).
+func (s *poolScan) callPooled(call *ast.CallExpr) (pooledVal, bool) {
+	if s.isNamed(call, s.getName) {
+		return pooledVal{transitive: false, via: "dsp.GetSlice"}, true
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isB := s.node.Pkg.Info.Uses[id].(*types.Builtin); isB && len(call.Args) > 0 {
+			return s.exprPooled(call.Args[0])
+		}
+	}
+	for _, callee := range s.calleesByCall[call] {
+		sum := s.sums[callee]
+		if sum != nil && sum.returnsPooled {
+			via := chainString(FuncDisplay(callee, s.node.Pkg.Types), sum.via)
+			return pooledVal{transitive: true, via: via}, true
+		}
+	}
+	return pooledVal{}, false
+}
+
+// report emits PH004/PH005 for the transitive escapes of a settled scan.
+func (s *poolScan) report() {
+	ast.Inspect(s.node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if v, ok := s.exprPooled(r); ok && v.transitive {
+					s.p.Reportf(r.Pos(), "PH005",
+						"pooled buffer from %s is returned onward; the pool cannot see who releases it",
+						v.via)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				v, ok := s.exprPooled(rhs)
+				if !ok || !v.transitive {
+					continue
+				}
+				if s.storesBeyondFrame(n.Lhs[i]) {
+					s.p.Reportf(n.Lhs[i].Pos(), "PH004",
+						"pooled buffer from %s is stored beyond the acquiring frame; copy it or release it here",
+						v.via)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if v, ok := s.exprPooled(val); ok && v.transitive {
+					s.p.Reportf(val.Pos(), "PH004",
+						"pooled buffer from %s is packed into a composite literal; the value outlives the frame",
+						v.via)
+				}
+			}
+		case *ast.SendStmt:
+			if v, ok := s.exprPooled(n.Value); ok && v.transitive {
+				s.p.Reportf(n.Value.Pos(), "PH004",
+					"pooled buffer from %s is sent on a channel; the receiver outlives the frame", v.via)
+			}
+		case *ast.FuncLit:
+			if s.immediatelyInvoked(n) {
+				return true
+			}
+			if obj, v := s.capturedPooled(n); obj != nil {
+				s.p.Reportf(n.Pos(), "PH004",
+					"function literal captures pooled buffer %s (from %s); the closure may outlive the frame",
+					obj.Name(), v.via)
+			}
+			return false // don't descend: inner uses are the capture, reported once
+		}
+		return true
+	})
+}
+
+// storesBeyondFrame reports whether an assignment target outlives the
+// function: a field, a dereference, an element of something, or a
+// package-level variable. Plain local variables return false.
+func (s *poolScan) storesBeyondFrame(lhs ast.Expr) bool {
+	switch t := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := s.objOf(t)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		// A package-level variable outlives every frame.
+		return v.Parent() == s.node.Pkg.Types.Scope()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// capturedPooled finds a pooled variable from the enclosing function that
+// lit's body references, if any.
+func (s *poolScan) capturedPooled(lit *ast.FuncLit) (types.Object, pooledVal) {
+	var foundObj types.Object
+	var foundVal pooledVal
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if foundObj != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := s.node.Pkg.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if v, ok := s.vars[obj]; ok && v.transitive && !s.released[obj] {
+			foundObj, foundVal = obj, v
+		}
+		return true
+	})
+	return foundObj, foundVal
+}
+
+// immediatelyInvoked reports whether lit is the Fun of a call expression
+// (an IIFE): the closure cannot outlive the statement.
+func (s *poolScan) immediatelyInvoked(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(s.node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && ast.Unparen(call.Fun) == lit {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isNamed reports whether call statically targets the fully-qualified
+// function name (e.g. "repro/internal/dsp.GetSlice").
+func (s *poolScan) isNamed(call *ast.CallExpr, full string) bool {
+	fn := calleeFunc(s.node.Pkg.Info, call)
+	return fn != nil && fn.FullName() == full
+}
+
+func (s *poolScan) objOf(id *ast.Ident) types.Object {
+	info := s.node.Pkg.Info
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

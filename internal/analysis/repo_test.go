@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -8,14 +10,31 @@ import (
 // findings — the same gate `make check` enforces via cmd/wblint. A new
 // violation anywhere in the tree turns this test red with the exact
 // diagnostic.
+//
+// The walk covers the whole module; the per-tree minimums below make that
+// coverage explicit, so a future walker regression that silently drops
+// cmd/... or examples/... (where the CLIs and runnable samples live) fails
+// here instead of quietly shrinking the gate.
 func TestRepoClean(t *testing.T) {
 	l := testLoader(t)
 	dirs, err := WalkPackages(l.ModuleDir())
 	if err != nil {
 		t.Fatalf("walking packages: %v", err)
 	}
-	if len(dirs) < 10 {
-		t.Fatalf("suspiciously few packages found (%d): %v", len(dirs), dirs)
+	counts := map[string]int{}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleDir(), dir)
+		if err != nil {
+			t.Fatalf("relativizing %s: %v", dir, err)
+		}
+		top, _, _ := strings.Cut(filepath.ToSlash(rel), "/")
+		counts[top]++
+	}
+	for tree, min := range map[string]int{"internal": 15, "cmd": 5, "examples": 3} {
+		if counts[tree] < min {
+			t.Errorf("walk found %d packages under %s/, want at least %d (all: %v)",
+				counts[tree], tree, min, counts)
+		}
 	}
 	diags, err := Check(l, dirs, DefaultConfig())
 	if err != nil {

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+)
+
+// The interprocedural analyzers follow a bottom-up summary discipline: a
+// local pass computes, for each function, a small fact about its boundary
+// behavior (does its return value carry wall-clock taint? does it hand out
+// a pooled buffer?), and a fixpoint iteration propagates those facts along
+// the call graph until they stabilize — which handles recursion and
+// mutual recursion without special cases. Diagnostics are only emitted in
+// a second pass, once every summary is final, so a finding can name the
+// whole chain it traveled ("deriveSeed → clockSeed → time.Now").
+
+// ModuleAnalyzer is one analysis pass over the whole module. Unlike
+// Analyzer, its Run sees every package at once plus the call graph, which
+// is what lets it follow facts across function and package boundaries.
+type ModuleAnalyzer struct {
+	// Name identifies the analyzer in output and documentation.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer protects.
+	Doc string
+	// Codes documents every diagnostic code the analyzer can emit.
+	Codes []CodeDoc
+	// Run inspects the module and reports diagnostics through the pass.
+	Run func(*ModulePass)
+}
+
+// ModulePass carries one module through one module analyzer.
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	Config   *Config
+	Module   *Module
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, code, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Code:     code,
+		Pos:      p.Module.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Fixpoint applies step to every call-graph node, in deterministic order,
+// repeatedly until a full sweep reports no change. step returns true when
+// it changed the summary it maintains for the node. The iteration count is
+// bounded by (lattice height × nodes); the analyzers' summaries are small
+// bit vectors, so a handful of sweeps settles the whole module.
+func (m *Module) Fixpoint(step func(*CallNode) bool) {
+	for {
+		changed := false
+		m.Graph.ForEachNode(func(n *CallNode) {
+			if step(n) {
+				changed = true
+			}
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+// RunModuleAnalyzers applies every module analyzer to m and returns the
+// raw (unsuppressed) diagnostics in source order.
+func RunModuleAnalyzers(m *Module, analyzers []*ModuleAnalyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &ModulePass{
+			Analyzer: a,
+			Config:   m.Config,
+			Module:   m,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// moduleFunc reports whether fn belongs to the analyzed module.
+func (p *ModulePass) moduleFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	mod := p.Config.ModulePath
+	return path == mod || len(path) > len(mod) && path[:len(mod)] == mod && path[len(mod)] == '/'
+}

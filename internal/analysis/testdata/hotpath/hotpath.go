@@ -1,0 +1,63 @@
+// Package hotpath exercises the hot-path allocation analyzer (HP001–HP003).
+// The root is marked with //wblint:hotpath-root; the violations sit two
+// calls below it, in a function no intra-procedural pass would connect to
+// the root. offPath holds the same shapes outside the reachable set to pin
+// that the discipline applies only where the roots can reach.
+package hotpath
+
+// process is the fixture's hot-path root.
+//
+//wblint:hotpath-root
+func process(samples []float64) float64 {
+	return stage1(samples) + cleanStage(samples)
+}
+
+// stage1 is one hop below the root.
+func stage1(samples []float64) float64 {
+	return stage2(samples)
+}
+
+// stage2 is two hops below the root and breaks every rule: unbounded
+// append growth in a loop, boxing into an interface parameter, and an
+// escaping closure.
+func stage2(samples []float64) float64 {
+	var out []float64
+	for _, s := range samples {
+		out = append(out, s*s) // want "HP003"
+	}
+	sink(len(out))                        // want "HP001"
+	f := func() float64 { return out[0] } // want "HP002"
+	return f()
+}
+
+func sink(v any) { _ = v }
+
+// cleanStage shows the allowed shapes: a sized make, slice-reset reuse,
+// a pointer riding the interface word, and a directly-deferred closure.
+func cleanStage(samples []float64) float64 {
+	out := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		out = append(out, s)
+	}
+	out = out[:0]
+	for _, s := range samples {
+		out = append(out, s*2)
+	}
+	sink(&out)
+	defer func() { out = out[:0] }()
+	if len(out) == 0 {
+		return 0
+	}
+	return out[0]
+}
+
+// offPath is unreachable from the root: the same shapes as stage2, with
+// no findings, because the hot-path contract does not apply here.
+func offPath(samples []float64) []float64 {
+	var out []float64
+	for _, s := range samples {
+		out = append(out, s)
+	}
+	sink(len(out))
+	return out
+}

@@ -1,0 +1,8 @@
+//go:build wblint_never_set
+
+// This file carries an unsatisfiable build tag. Its body references an
+// undefined symbol on purpose: a loader that ignores //go:build would fail
+// to typecheck the tagged fixture, and TestBuildConstraints would catch it.
+package tagged
+
+func broken() int { return definitelyUndefinedSymbol }

@@ -1,0 +1,6 @@
+// This file is excluded by its _windows filename suffix everywhere the
+// suite runs (linux/darwin CI and containers). Like excluded.go, it is
+// deliberately broken so a suffix-blind loader cannot load the fixture.
+package tagged
+
+func alsoBroken() int { return anotherUndefinedSymbol }

@@ -1,0 +1,9 @@
+// Package tagged proves the loader honors build constraints: the two
+// sibling files are excluded on every platform the suite runs on (one by
+// an unsatisfiable //go:build tag, one by a foreign _GOOS suffix) and both
+// contain deliberate typecheck errors, so if the loader ever parses them
+// the fixture load fails loudly.
+package tagged
+
+// Ok is the only symbol the host build should see.
+func Ok() int { return 1 }

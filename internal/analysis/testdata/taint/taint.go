@@ -1,0 +1,104 @@
+// Package taint exercises the interprocedural determinism-taint analyzer
+// (DT005–DT007). The point of every case here is distance: the source
+// (time.Now, rand.Float64, a map range) sits in one function and the
+// violation surfaces in another, one or two calls away — exactly the
+// shapes the intra-procedural determinism analyzer cannot see.
+package taint
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// --- wall-clock chain: source → one hop → two hops ---------------------
+
+// clockSeed returns a wall-clock-derived value. (The read itself is DT001,
+// the intra-procedural analyzer's finding; taint tracks where it goes.)
+func clockSeed() int64 {
+	return time.Now().UnixNano()
+}
+
+// deriveSeed is one call from the source.
+func deriveSeed(offset int64) int64 {
+	s := clockSeed() // want "DT005"
+	return s + offset
+}
+
+// trialOutcome is two calls from the source: the sink an intra-procedural
+// pass can never connect to the time.Now in clockSeed.
+func trialOutcome() int64 {
+	return deriveSeed(7) // want "DT005"
+}
+
+// --- unseeded-rand chain ----------------------------------------------
+
+func noise() float64 {
+	return rand.Float64()
+}
+
+func jitter() float64 {
+	n := noise() // want "DT006"
+	return n * 0.5
+}
+
+func perturb(x float64) float64 {
+	return x + jitter() // want "DT006"
+}
+
+// --- map-iteration-order chain ----------------------------------------
+
+// unsortedKeys accumulates in map-walk order; holding such a slice is
+// legal, so nothing is reported here.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// emit prints the keys in whatever order the map walk produced, one call
+// below the accumulation: DT007 at the sink.
+func emit(m map[string]int) {
+	keys := unsortedKeys(m)
+	for _, k := range keys {
+		fmt.Println(k) // want "DT007"
+	}
+}
+
+// emitSorted is the sanctioned shape: a sort between the map walk and the
+// output cleanses the ordering.
+func emitSorted(m map[string]int) {
+	keys := unsortedKeys(m)
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k)
+	}
+}
+
+// unsortedVals mirrors unsortedKeys for a float-valued map.
+func unsortedVals(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// observeFirst feeds a map-ordered value to a metric: the histogram's
+// shape now depends on the map walk.
+func observeFirst(m map[string]float64, h *obs.Histogram) {
+	vals := unsortedVals(m)
+	h.Observe(vals[0]) // want "DT007"
+}
+
+// keyCount derives only the length from a map-ordered slice: len is
+// order-independent and exempt from propagation, so nothing is reported.
+func keyCount(m map[string]int) int {
+	keys := unsortedKeys(m)
+	return len(keys)
+}

@@ -98,6 +98,21 @@ func nFrameBits(payloadLen int) int { return 13 + payloadLen + 13 }
 // same bit transmission").
 func binByTimestamp(ts []float64, start, bitDur float64, nbits int) [][]int {
 	bins := make([][]int, nbits)
+	// Two passes: count, size each bin exactly, then fill. One allocation
+	// per occupied bin instead of O(log n) append regrowths, and bins with
+	// no packets stay nil exactly as before.
+	counts := make([]int, nbits)
+	for _, t := range ts {
+		j := int(math.Floor((t - start) / bitDur))
+		if j >= 0 && j < nbits {
+			counts[j]++
+		}
+	}
+	for j, c := range counts {
+		if c > 0 {
+			bins[j] = make([]int, 0, c)
+		}
+	}
 	for i, t := range ts {
 		j := int(math.Floor((t - start) / bitDur))
 		if j < 0 || j >= nbits {
@@ -374,7 +389,8 @@ func (d *Decoder) pushAll(s *csi.Series, start float64, payloadLen int, mode Str
 // combineAndDecide ranks channels by |preamble correlation|, keeps the top
 // G, and decides bits.
 func (d *Decoder) combineAndDecide(stats []channelStats, bins [][]int, payloadLen int) (*Result, error) {
-	sort.Slice(stats, func(i, j int) bool {
+	//wblint:ignore HP002 the comparator runs once per frame close, not per push; sort.Slice's unstable tie order is pinned by the golden traces
+	sort.Slice(stats, func(i, j int) bool { //wblint:ignore HP001 boxing the slice header is once per frame close, not per push; see the HP002 reason above
 		return math.Abs(stats[i].corr) > math.Abs(stats[j].corr)
 	})
 	g := d.cfg.GoodSubchannels

@@ -315,8 +315,10 @@ func (sd *StreamDecoder) grow() {
 	if sd.chans == nil {
 		sd.chans = make([][]float64, sd.nchan())
 	}
+	//wblint:ignore PH004 the arena deliberately lives on sd across pushes; StreamDecoder.release returns every buffer to the pool on decode/flush/fail
 	sd.ts = growPooled(sd.ts, sd.n, c)
 	for i := range sd.chans {
+		//wblint:ignore PH004 same arena ownership as sd.ts: released by StreamDecoder.release on every exit path
 		sd.chans[i] = growPooled(sd.chans[i], sd.n, c)
 	}
 	sd.arena = c
@@ -380,7 +382,8 @@ func (sd *StreamDecoder) decode(atFlush bool) error {
 			err = fmt.Errorf("uplink: series has no antennas")
 		} else {
 			// RSSI mode uses the single best channel.
-			sort.Slice(stats, func(i, j int) bool {
+			//wblint:ignore HP002 the comparator runs once per frame close, not per push; sort.Slice's unstable tie order is pinned by the golden traces
+			sort.Slice(stats, func(i, j int) bool { //wblint:ignore HP001 boxing the slice header is once per frame close, not per push; see the HP002 reason above
 				return math.Abs(stats[i].corr) > math.Abs(stats[j].corr)
 			})
 			d.met.channelsRejected.Add(int64(len(stats) - 1))
