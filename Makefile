@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint race fuzz bench bench-stream metrics-golden chaos faults-golden check
+.PHONY: all build vet test lint race fuzz bench bench-stream metrics-golden chaos faults-golden serve check
 
 all: check
 
@@ -68,4 +68,12 @@ chaos:
 faults-golden:
 	$(GO) test ./internal/eval/ -run 'TestFaultsGolden|TestFaultsWorkerInvariance'
 
-check: vet build lint race fuzz bench-stream metrics-golden chaos faults-golden
+# Serving-layer concurrency gate, always run fresh (-count=1): 64
+# concurrent TCP sessions byte-identical to batch decode, overload
+# rejection, poison isolation, drain under load — all race-enabled —
+# plus the wbserved drain loop and the wbload replay-equivalence client.
+# See README "Serving" and DESIGN.md §12.
+serve:
+	$(GO) test -race -count=1 ./internal/serve/ ./cmd/wbserved/ ./cmd/wbload/
+
+check: vet build lint race fuzz bench-stream metrics-golden chaos faults-golden serve

@@ -26,15 +26,14 @@
 package main
 
 import (
-	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
-	"repro/internal/csi"
+	"repro/internal/tracecsv"
 	"repro/internal/uplink"
 )
 
@@ -50,154 +49,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wbdecode:", err)
 		os.Exit(1)
 	}
-}
-
-// chanCol maps one CSV column to a measurement lane.
-type chanCol struct{ ant, sub, col int }
-
-// rowParser streams the wbtrace CSV schema one row at a time. The header
-// is consumed at construction; next fills a single reused Measurement, so
-// steady-state parsing does not allocate per row.
-type rowParser struct {
-	cr       *csv.Reader
-	tsCol    int
-	stateCol int
-	hasState bool
-	csiCols  []chanCol
-	rssiCols []chanCol
-	m        csi.Measurement
-}
-
-// newRowParser reads the header and discovers the measurement layout from
-// the column names.
-func newRowParser(r io.Reader) (*rowParser, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("reading header: %w", err)
-	}
-	col := map[string]int{}
-	for i, name := range header {
-		col[name] = i
-	}
-	tsCol, ok := col["timestamp"]
-	if !ok {
-		return nil, fmt.Errorf("trace has no timestamp column")
-	}
-	p := &rowParser{cr: cr, tsCol: tsCol}
-	p.stateCol, p.hasState = col["tag_state"]
-	maxAnt, maxSub := -1, -1
-	for name, i := range col {
-		var a, k int
-		if n, _ := fmt.Sscanf(name, "csi_a%d_s%d", &a, &k); n == 2 {
-			p.csiCols = append(p.csiCols, chanCol{a, k, i})
-			if a > maxAnt {
-				maxAnt = a
-			}
-			if k > maxSub {
-				maxSub = k
-			}
-		} else if n, _ := fmt.Sscanf(name, "rssi_a%d", &a); n == 1 && strings.HasPrefix(name, "rssi_") {
-			p.rssiCols = append(p.rssiCols, chanCol{a, 0, i})
-			if a > maxAnt {
-				maxAnt = a
-			}
-		}
-	}
-	if len(p.csiCols) == 0 && len(p.rssiCols) == 0 {
-		return nil, fmt.Errorf("trace has neither csi_a*_s* nor rssi_a* columns")
-	}
-	// Pre-size the reused measurement to the discovered shape.
-	p.m.CSI = make([][]float64, maxAnt+1)
-	p.m.RSSI = make([]float64, maxAnt+1)
-	for a := range p.m.CSI {
-		if len(p.csiCols) > 0 {
-			p.m.CSI[a] = make([]float64, maxSub+1)
-		} else {
-			p.m.CSI[a] = []float64{0}
-		}
-	}
-	return p, nil
-}
-
-// next parses one row into the parser's reused measurement. The returned
-// measurement and its slices are only valid until the following call —
-// consumers that retain rows (parseTrace) must clone. ok is false at EOF.
-func (p *rowParser) next() (m csi.Measurement, state, ok bool, err error) {
-	row, err := p.cr.Read()
-	if err == io.EOF {
-		return csi.Measurement{}, false, false, nil
-	}
-	if err != nil {
-		return csi.Measurement{}, false, false, err
-	}
-	ts, err := strconv.ParseFloat(row[p.tsCol], 64)
-	if err != nil {
-		return csi.Measurement{}, false, false, fmt.Errorf("bad timestamp %q: %w", row[p.tsCol], err)
-	}
-	p.m.Timestamp = ts
-	if len(p.csiCols) > 0 {
-		for _, c := range p.csiCols {
-			v, err := strconv.ParseFloat(row[c.col], 64)
-			if err != nil {
-				return csi.Measurement{}, false, false, fmt.Errorf("bad CSI value: %w", err)
-			}
-			p.m.CSI[c.ant][c.sub] = v
-		}
-	} else {
-		for _, c := range p.rssiCols {
-			v, err := strconv.ParseFloat(row[c.col], 64)
-			if err != nil {
-				return csi.Measurement{}, false, false, fmt.Errorf("bad RSSI value: %w", err)
-			}
-			p.m.RSSI[c.ant] = v
-		}
-	}
-	if p.hasState {
-		state = row[p.stateCol] == "1"
-	}
-	return p.m, state, true, nil
-}
-
-// trace holds a fully materialized CSV measurement trace — only the
-// payload-length inference path needs one.
-type trace struct {
-	series   csi.Series
-	states   []bool // per-packet tag state, when present
-	hasState bool
-}
-
-// parseTrace reads the whole trace through a rowParser, cloning each
-// reused row into the series.
-func parseTrace(r io.Reader) (*trace, error) {
-	p, err := newRowParser(r)
-	if err != nil {
-		return nil, err
-	}
-	tr := &trace{hasState: p.hasState}
-	for {
-		m, state, ok, err := p.next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			break
-		}
-		clone := csi.Measurement{
-			Timestamp: m.Timestamp,
-			CSI:       make([][]float64, len(m.CSI)),
-			RSSI:      append([]float64(nil), m.RSSI...),
-		}
-		for a := range m.CSI {
-			clone.CSI[a] = append([]float64(nil), m.CSI[a]...)
-		}
-		tr.series.Append(clone)
-		if p.hasState {
-			tr.states = append(tr.states, state)
-		}
-	}
-	return tr, nil
 }
 
 // truthAccum accumulates ground truth from the tag_state column in fixed
@@ -231,16 +82,6 @@ func (ta *truthAccum) bits() []bool {
 	return bits
 }
 
-// groundTruth reconstructs the transmitted payload bits from the trace's
-// tag_state column by majority over each bit window.
-func (tr *trace) groundTruth(start, bitDur float64, nbits int) []bool {
-	ta := newTruthAccum(start, bitDur, nbits)
-	for i, m := range tr.series.Measurements {
-		ta.add(m.Timestamp, tr.states[i])
-	}
-	return ta.bits()
-}
-
 func run(in io.Reader, out io.Writer, rate, start float64, payloadLen int, mode string, follow bool) error {
 	if rate <= 0 {
 		return fmt.Errorf("rate must be positive")
@@ -264,7 +105,7 @@ func run(in io.Reader, out io.Writer, rate, start float64, payloadLen int, mode 
 
 	// Streaming path: constant memory in the trace length. One reused row,
 	// the decoder's frame-bounded arena, and fixed-size truth counters.
-	p, err := newRowParser(in)
+	p, err := tracecsv.NewParser(in)
 	if err != nil {
 		return err
 	}
@@ -278,14 +119,23 @@ func run(in io.Reader, out io.Writer, rate, start float64, payloadLen int, mode 
 	}
 	nbits := 13 + payloadLen + 13
 	var truth *truthAccum
-	if p.hasState {
+	if p.HasState() {
 		truth = newTruthAccum(start, bitDur, nbits)
 	}
 	count := 0
 	emittedLive := false
+	// A pipe cut mid-row (the producer died) is EOF-equivalent for
+	// decoding — every complete row already arrived, so the flush below
+	// still salvages and prints the frame — but the loss is reported: the
+	// error propagates after the summary, so the exit status is nonzero.
+	var truncated error
 	for {
-		m, state, ok, err := p.next()
+		m, state, ok, err := p.Next()
 		if err != nil {
+			if errors.Is(err, tracecsv.ErrTruncatedRow) {
+				truncated = err
+				break
+			}
 			return err
 		}
 		if !ok {
@@ -305,6 +155,9 @@ func run(in io.Reader, out io.Writer, rate, start float64, payloadLen int, mode 
 		}
 	}
 	if count == 0 {
+		if truncated != nil {
+			return truncated
+		}
 		return fmt.Errorf("trace is empty")
 	}
 	res, err := sd.Flush()
@@ -316,7 +169,7 @@ func run(in io.Reader, out io.Writer, rate, start float64, payloadLen int, mode 
 		printLive(out, sd.Bits())
 	}
 	summarize(out, dec, res, count, payloadLen, truth)
-	return nil
+	return truncated
 }
 
 // printLive prints bit decisions the moment Push emits them.
@@ -355,15 +208,15 @@ func summarize(out io.Writer, dec *uplink.Decoder, res *uplink.Result, measureme
 // runInferred is the materialized path: payload length comes from the
 // trace span, so the whole trace must be read before decoding.
 func runInferred(in io.Reader, out io.Writer, rate, start float64, mode string) error {
-	tr, err := parseTrace(in)
+	tr, err := tracecsv.ReadTrace(in)
 	if err != nil {
 		return err
 	}
-	if tr.series.Len() == 0 {
+	if tr.Series.Len() == 0 {
 		return fmt.Errorf("trace is empty")
 	}
 	bitDur := 1 / rate
-	last := tr.series.Measurements[tr.series.Len()-1].Timestamp
+	last := tr.Series.Measurements[tr.Series.Len()-1].Timestamp
 	payloadLen := int((last-start)/bitDur) - 26
 	if payloadLen <= 0 {
 		return fmt.Errorf("trace too short to infer a payload length")
@@ -375,21 +228,21 @@ func runInferred(in io.Reader, out io.Writer, rate, start float64, mode string) 
 	var res *uplink.Result
 	switch mode {
 	case "csi":
-		res, err = dec.DecodeCSI(&tr.series, start, payloadLen)
+		res, err = dec.DecodeCSI(&tr.Series, start, payloadLen)
 	case "rssi":
-		res, err = dec.DecodeRSSI(&tr.series, start, payloadLen)
+		res, err = dec.DecodeRSSI(&tr.Series, start, payloadLen)
 	}
 	if err != nil {
 		return err
 	}
 	var truth *truthAccum
-	if tr.hasState {
+	if tr.HasState {
 		truth = newTruthAccum(start, bitDur, 13+payloadLen+13)
-		for i, m := range tr.series.Measurements {
-			truth.add(m.Timestamp, tr.states[i])
+		for i, m := range tr.Series.Measurements {
+			truth.add(m.Timestamp, tr.States[i])
 		}
 	}
-	summarize(out, dec, res, tr.series.Len(), payloadLen, truth)
+	summarize(out, dec, res, tr.Series.Len(), payloadLen, truth)
 	return nil
 }
 

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"math"
+	"os"
 	"strings"
 	"testing"
 
+	"repro/internal/tracecsv"
 	"repro/internal/uplink"
 )
 
@@ -195,12 +199,12 @@ func TestStreamingMatchesMaterialized(t *testing.T) {
 	if err := run(strings.NewReader(csvData), &streamed, 100, 1.0, 20, "csi", false); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := parseTrace(strings.NewReader(csvData))
+	tr, err := tracecsv.ReadTrace(strings.NewReader(csvData))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.series.Len() != 2000 {
-		t.Fatalf("parsed %d rows", tr.series.Len())
+	if tr.Series.Len() != 2000 {
+		t.Fatalf("parsed %d rows", tr.Series.Len())
 	}
 	// The inference path materializes; with this trace span it infers a
 	// payload of int((1.999-1.0)/0.01)-26 = 73 bits, so compare against a
@@ -211,15 +215,15 @@ func TestStreamingMatchesMaterialized(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := dec.DecodeCSI(&tr.series, 1.0, 20)
+		res, err := dec.DecodeCSI(&tr.Series, 1.0, 20)
 		if err != nil {
 			t.Fatal(err)
 		}
 		truth := newTruthAccum(1.0, 0.01, 13+20+13)
-		for i, m := range tr.series.Measurements {
-			truth.add(m.Timestamp, tr.states[i])
+		for i, m := range tr.Series.Measurements {
+			truth.add(m.Timestamp, tr.States[i])
 		}
-		summarize(&batchOut, dec, res, tr.series.Len(), 20, truth)
+		summarize(&batchOut, dec, res, tr.Series.Len(), 20, truth)
 	}()
 	if streamed.String() != batchOut.String() {
 		t.Errorf("streamed CLI output differs from materialized decode:\n--- streamed ---\n%s--- batch ---\n%s",
@@ -229,17 +233,85 @@ func TestStreamingMatchesMaterialized(t *testing.T) {
 
 func TestParseTraceShapes(t *testing.T) {
 	csvData, _ := buildCSV(t, true, false)
-	tr, err := parseTrace(strings.NewReader(csvData))
+	tr, err := tracecsv.ReadTrace(strings.NewReader(csvData))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.series.Len() != 2000 {
-		t.Errorf("parsed %d measurements", tr.series.Len())
+	if tr.Series.Len() != 2000 {
+		t.Errorf("parsed %d measurements", tr.Series.Len())
 	}
-	if tr.series.Antennas() != 2 || tr.series.Subchannels() != 4 {
-		t.Errorf("shape = (%d, %d)", tr.series.Antennas(), tr.series.Subchannels())
+	if tr.Series.Antennas() != 2 || tr.Series.Subchannels() != 4 {
+		t.Errorf("shape = (%d, %d)", tr.Series.Antennas(), tr.Series.Subchannels())
 	}
-	if !tr.hasState || len(tr.states) != 2000 {
+	if !tr.HasState || len(tr.States) != 2000 {
 		t.Error("tag_state column not parsed")
+	}
+}
+
+// runOnPipe writes data into a real pipe (cut exactly where the producer
+// "died"), closes the write end, and runs wbdecode's streaming -follow
+// path on the read end — the shape of `producer | wbdecode -follow` when
+// the producer is killed. It returns the output and run's error, whose
+// nil-ness is what decides the process exit status in main.
+func runOnPipe(t *testing.T, data string, payload int) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	go func() {
+		defer w.Close()
+		_, _ = io.WriteString(w, data)
+	}()
+	var out strings.Builder
+	runErr := run(r, &out, 100, 1.0, payload, "csi", true)
+	return out.String(), runErr
+}
+
+// TestRunFollowPipeTruncation pins the -follow contract on a pipe whose
+// producer dies at every interesting point relative to the frame window
+// (1.0s–1.46s at 100 bps × 20 payload bits, rows every 1 ms):
+//
+//   - before the frame: nothing to decode — error exit, no bit lines;
+//   - inside the frame: clean row boundary is EOF — Flush salvages the
+//     partial frame, prints all 20 bits and a summary, exit 0;
+//   - inside the frame, cut mid-row: same salvage output, but the
+//     truncation is reported so the exit status is nonzero;
+//   - after the frame: bits were already emitted live at frame close —
+//     full output, exit 0.
+func TestRunFollowPipeTruncation(t *testing.T) {
+	csvData, _ := buildCSV(t, true, false)
+	lines := strings.Split(csvData, "\n")
+
+	cases := []struct {
+		name      string
+		data      string
+		wantErr   bool
+		truncated bool
+		wantBits  int
+	}{
+		{"before frame", strings.Join(lines[:1+800], "\n"), true, false, 0},
+		{"inside frame", strings.Join(lines[:1+1250], "\n"), false, false, 20},
+		{"inside frame mid-row", strings.Join(lines[:1+1250], "\n") + "\n" + lines[1251][:10], true, true, 20},
+		{"after frame", strings.Join(lines[:1+1600], "\n"), false, false, 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := runOnPipe(t, tc.data, 20)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("run error = %v, want error: %v\n%s", err, tc.wantErr, out)
+			}
+			if tc.truncated && !errors.Is(err, tracecsv.ErrTruncatedRow) {
+				t.Errorf("mid-row cut should report ErrTruncatedRow, got %v", err)
+			}
+			if n := strings.Count(out, "bit "); n != tc.wantBits {
+				t.Errorf("printed %d bit lines, want %d:\n%s", n, tc.wantBits, out)
+			}
+			// Whenever any bits decoded, the Flush summary must follow.
+			if tc.wantBits > 0 && !strings.Contains(out, "measurements:") {
+				t.Errorf("salvaged bits missing their summary:\n%s", out)
+			}
+		})
 	}
 }

@@ -1,0 +1,241 @@
+// Command wbload is the load-generating client for wbserved: it replays
+// one wbtrace capture over many concurrent line-protocol sessions and
+// verifies that every served decode is byte-identical to the local batch
+// decoder's answer on the same trace — the serving layer must never
+// change a bit, no matter how many neighbors it is multiplexing.
+//
+// Usage:
+//
+//	wbtrace -what csi > trace.csv
+//	wbserved -addr 127.0.0.1:4711 &
+//	wbload -addr 127.0.0.1:4711 -n 64 -rate 100 -start 1.0 -payload 300 trace.csv
+//
+// With -addr "" wbload self-hosts an in-process server on a loopback
+// listener, which makes the equivalence check a one-command experiment
+// (see EXPERIMENTS.md).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/csi"
+	"repro/internal/serve"
+	"repro/internal/tracecsv"
+	"repro/internal/uplink"
+)
+
+func main() {
+	addr := flag.String("addr", "", "wbserved address (empty = self-hosted in-process server)")
+	n := flag.Int("n", 64, "concurrent sessions")
+	rate := flag.Float64("rate", 100, "tag bit rate in bits/s")
+	start := flag.Float64("start", 1.0, "transmission start time in seconds")
+	payload := flag.Int("payload", 0, "payload bits (required)")
+	mode := flag.String("mode", "csi", "csi or rssi")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wbload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, os.Stdout, *addr, *n, *rate, *start, *payload, *mode); err != nil {
+		fmt.Fprintln(os.Stderr, "wbload:", err)
+		os.Exit(1)
+	}
+}
+
+// run replays the trace from in over n concurrent sessions and fails
+// unless every session's decode matches the local batch decode.
+func run(in io.Reader, w io.Writer, addr string, n int, rate, start float64, payloadLen int, mode string) error {
+	if payloadLen <= 0 {
+		return fmt.Errorf("-payload is required (the expected payload length in bits)")
+	}
+	if n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", n)
+	}
+	var smode uplink.StreamMode
+	switch mode {
+	case "csi":
+		smode = uplink.StreamCSI
+	case "rssi":
+		smode = uplink.StreamRSSI
+	default:
+		return fmt.Errorf("unknown mode %q (want csi or rssi)", mode)
+	}
+	tr, err := tracecsv.ReadTrace(in)
+	if err != nil {
+		return fmt.Errorf("reading trace: %w", err)
+	}
+	series := &tr.Series
+	if series.Len() == 0 {
+		return fmt.Errorf("trace has no measurements")
+	}
+
+	// The reference: what the batch decoder says about this capture.
+	dec, err := uplink.NewDecoder(uplink.DefaultConfig(1 / rate))
+	if err != nil {
+		return err
+	}
+	var want *uplink.Result
+	if smode == uplink.StreamRSSI {
+		want, err = dec.DecodeRSSI(series, start, payloadLen)
+	} else {
+		want, err = dec.DecodeCSI(series, start, payloadLen)
+	}
+	if err != nil {
+		return fmt.Errorf("batch decode: %w", err)
+	}
+	wantBits := payloadString(want)
+
+	params := serve.SessionParams{
+		Mode:        smode,
+		BitRate:     rate,
+		Start:       start,
+		PayloadLen:  payloadLen,
+		Antennas:    series.Antennas(),
+		Subchannels: series.Subchannels(),
+	}
+
+	// Self-host when no daemon was named.
+	var selfDrain func() error
+	if addr == "" {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := serve.NewServer(serve.Config{MaxSessions: n, Now: time.Now})
+		go func() { _ = srv.ServeTCP(l) }()
+		addr = l.Addr().String()
+		selfDrain = func() error {
+			_ = l.Close()
+			return srv.Drain()
+		}
+		fmt.Fprintf(w, "wbload: self-hosted server on %s\n", addr)
+	}
+
+	results := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = replay(addr, params, series, wantBits)
+		}(i)
+	}
+	wg.Wait()
+	if selfDrain != nil {
+		if err := selfDrain(); err != nil {
+			return err
+		}
+	}
+
+	failed := 0
+	for i, err := range results {
+		if err != nil {
+			failed++
+			if failed <= 5 {
+				fmt.Fprintf(w, "wbload: session %d: %v\n", i, err)
+			}
+		}
+	}
+	fmt.Fprintf(w, "wbload: %d/%d sessions byte-identical to batch (%d payload bits, %d measurements each)\n",
+		n-failed, n, payloadLen, series.Len())
+	if failed > 0 {
+		return fmt.Errorf("%d of %d sessions diverged from the batch decode", failed, n)
+	}
+	return nil
+}
+
+// replay runs one full protocol exchange and checks the decode against
+// the batch reference.
+func replay(addr string, p serve.SessionParams, series *csi.Series, wantBits string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	buf := serve.AppendHello(nil, p)
+	buf = append(buf, '\n')
+	if _, err := conn.Write(buf); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	if !sc.Scan() {
+		return fmt.Errorf("no response to hello: %v", sc.Err())
+	}
+	r, err := serve.ParseResponse(sc.Bytes())
+	if err != nil {
+		return err
+	}
+	if r.Kind != serve.RespOK {
+		return fmt.Errorf("rejected: %s", r.Reason)
+	}
+	for i := range series.Measurements {
+		buf = serve.AppendMeasurement(buf[:0], series.Measurements[i])
+		buf = append(buf, '\n')
+		if _, err := conn.Write(buf); err != nil {
+			return fmt.Errorf("measurement write: %w", err)
+		}
+	}
+	if _, err := conn.Write([]byte("flush\n")); err != nil {
+		return fmt.Errorf("flush write: %w", err)
+	}
+	var streamed strings.Builder
+	nbits := 0
+	for sc.Scan() {
+		r, err := serve.ParseResponse(sc.Bytes())
+		if err != nil {
+			return err
+		}
+		switch r.Kind {
+		case serve.RespBit:
+			nbits++
+			if r.Bit.Bit {
+				streamed.WriteByte('1')
+			} else {
+				streamed.WriteByte('0')
+			}
+		case serve.RespError:
+			return fmt.Errorf("server error: %s", r.Reason)
+		case serve.RespDone:
+			if r.Bits != wantBits {
+				return fmt.Errorf("done bits %s, batch decoded %s", r.Bits, wantBits)
+			}
+			if nbits != len(wantBits) || streamed.String() != wantBits {
+				return fmt.Errorf("streamed bits %s (%d lines), batch decoded %s",
+					streamed.String(), nbits, wantBits)
+			}
+			return nil
+		default:
+			return fmt.Errorf("unexpected mid-session response kind %d", r.Kind)
+		}
+	}
+	return fmt.Errorf("connection ended without a final line: %v", sc.Err())
+}
+
+// payloadString renders the batch payload the way the done line does.
+func payloadString(res *uplink.Result) string {
+	var sb strings.Builder
+	for _, b := range res.Payload {
+		if b {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildCSV synthesizes the same small decodable trace the wbdecode tests
+// use: 2 antennas × 4 sub-channels at 1000 pkt/s, a framed transmission
+// of 20 alternating payload bits at 100 bps starting at t=1.0, with the
+// modulation carried on channel (0,1).
+func buildCSV(t *testing.T) string {
+	t.Helper()
+	barker := []bool{true, true, true, true, true, false, false, true, true, false, true, false, true}
+	payload := make([]bool, 20)
+	for i := range payload {
+		payload[i] = i%2 == 0
+	}
+	frame := append([]bool{}, barker...)
+	frame = append(frame, payload...)
+	for _, b := range barker {
+		frame = append(frame, !b)
+	}
+	var sb strings.Builder
+	sb.WriteString("packet,timestamp")
+	for a := 0; a < 2; a++ {
+		for k := 0; k < 4; k++ {
+			fmt.Fprintf(&sb, ",csi_a%d_s%d", a, k)
+		}
+	}
+	sb.WriteString("\n")
+	const bitDur = 0.01
+	for i := 0; i < 2000; i++ {
+		ts := float64(i) * 0.001
+		bit := 0.0
+		j := int((ts - 1.0) / bitDur)
+		if j >= 0 && j < len(frame) && frame[j] {
+			bit = 1
+		}
+		dither := 0.02 * math.Sin(float64(i)*0.7)
+		fmt.Fprintf(&sb, "%d,%.6f", i, ts)
+		for a := 0; a < 2; a++ {
+			for k := 0; k < 4; k++ {
+				amp := 10.0 + dither
+				if a == 0 && k == 1 {
+					amp += 2 * bit
+				}
+				fmt.Fprintf(&sb, ",%.4f", amp)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestRunSelfHostedEquivalence is the replay loop against an in-process
+// server: every session must come back byte-identical to batch.
+func TestRunSelfHostedEquivalence(t *testing.T) {
+	csv := buildCSV(t)
+	var out strings.Builder
+	if err := run(strings.NewReader(csv), &out, "", 8, 100, 1.0, 20, "csi"); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "8/8 sessions byte-identical") {
+		t.Errorf("output missing the equivalence summary:\n%s", out.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run(strings.NewReader(""), &strings.Builder{}, "", 4, 100, 1.0, 0, "csi"); err == nil {
+		t.Error("missing -payload accepted")
+	}
+	if err := run(strings.NewReader(""), &strings.Builder{}, "", 0, 100, 1.0, 20, "csi"); err == nil {
+		t.Error("non-positive -n accepted")
+	}
+	if err := run(strings.NewReader(""), &strings.Builder{}, "", 4, 100, 1.0, 20, "fsk"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run(strings.NewReader("a,b\n"), &strings.Builder{}, "", 4, 100, 1.0, 20, "csi"); err == nil {
+		t.Error("headerless trace accepted")
+	}
+}

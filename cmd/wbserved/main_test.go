@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bufio"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestRunServesAndDrains drives the daemon loop end to end: serve a
+// session, deliver a stop signal mid-stream, and verify the graceful
+// drain gives the client its final line, run returns clean, and the
+// metrics snapshot lands on disk.
+func TestRunServesAndDrains(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := filepath.Join(t.TempDir(), "metrics.json")
+	stop := make(chan os.Signal, 1)
+	var logw strings.Builder
+	done := make(chan error, 1)
+	cfg := serve.Config{DrainTimeout: 5 * time.Second, Now: time.Now}
+	go func() { done <- run(cfg, l, metrics, &logw, stop) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := serve.AppendHello(nil, serve.SessionParams{
+		BitRate: 100, Start: 1.0, PayloadLen: 8, Antennas: 2, Subchannels: 4,
+	})
+	if _, err := conn.Write(append(hello, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatal("no response to hello")
+	}
+	if r, err := serve.ParseResponse(sc.Bytes()); err != nil || r.Kind != serve.RespOK {
+		t.Fatalf("hello answered %+v, %v", r, err)
+	}
+	// A few in-frame measurements, then go mute: the drain must flush us.
+	for i := 0; i < 40; i++ {
+		line := "m " + "1.0" + strings.Repeat(" 10", 2+2*4) + "\n"
+		if _, err := conn.Write([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop <- os.Interrupt
+	final := false
+	for sc.Scan() {
+		if r, err := serve.ParseResponse(sc.Bytes()); err == nil &&
+			(r.Kind == serve.RespDone || r.Kind == serve.RespError) {
+			final = true
+		}
+	}
+	if !final {
+		t.Error("drained session got no final line")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	snap, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics snapshot: %v", err)
+	}
+	for _, name := range []string{"serve.sessions.accepted", "serve.bits_served", "serve.drain.seconds"} {
+		if !strings.Contains(string(snap), name) {
+			t.Errorf("metrics snapshot missing %s", name)
+		}
+	}
+	if !strings.Contains(logw.String(), "draining") {
+		t.Errorf("log missing the drain notice: %q", logw.String())
+	}
+}

@@ -170,6 +170,11 @@ func DefaultConfig() *Config {
 			// (make bench-stream measures it; hotpath pinpoints it).
 			mod + "/internal/uplink.StreamDecoder.Push",
 			mod + "/internal/uplink.StreamDecoder.decode",
+			// The serving layer's per-session worker: every measurement of
+			// every concurrent session flows through it, so its reachable
+			// set (stream push, slot recycling, response formatting) must
+			// hold the same 0 allocs/measurement discipline.
+			mod + "/internal/serve.Session.loop",
 		},
 		HotPathBoxAllow: map[string]bool{
 			// Error construction only runs when a push is already being

@@ -21,10 +21,13 @@ var StandardRates = []float64{100, 200, 500, 1000}
 // conservative safety factor to keep bits from starving under bursty
 // traffic (§5).
 type RateAdvisor struct {
-	// PacketsPerBit is M, the channel measurements needed per bit.
+	// PacketsPerBit is M, the channel measurements needed per bit. Advise
+	// clamps a non-positive value to the default 4 (see Validate to catch
+	// the misconfiguration instead of inheriting the clamp).
 	PacketsPerBit int
 	// Safety derates the raw N/M (the paper's "conservative bit rate
-	// estimates").
+	// estimates"). Advise clamps values outside (0, 1] to the default
+	// 0.8; Validate rejects them.
 	Safety float64
 	// Rates are the selectable bit rates, ascending. Empty means
 	// StandardRates.
@@ -38,11 +41,34 @@ func NewRateAdvisor() RateAdvisor {
 	return RateAdvisor{PacketsPerBit: 4, Safety: 0.8}
 }
 
+// Validate reports whether the advisor's parameters are in range: M must
+// be positive, Safety in (0, 1], and every selectable rate positive.
+// Advise never fails — out-of-range parameters are clamped to the
+// defaults so a live control loop keeps advising — but that clamp is
+// silent by design, so construction sites should call Validate once to
+// surface a misconfiguration instead of quietly serving defaults.
+func (ra RateAdvisor) Validate() error {
+	if ra.PacketsPerBit <= 0 {
+		return fmt.Errorf("reader: PacketsPerBit must be positive, got %d", ra.PacketsPerBit)
+	}
+	if ra.Safety <= 0 || ra.Safety > 1 {
+		return fmt.Errorf("reader: Safety must be in (0, 1], got %v", ra.Safety)
+	}
+	for i, r := range ra.Rates {
+		if r <= 0 {
+			return fmt.Errorf("reader: rate %d must be positive, got %v", i, r)
+		}
+	}
+	return nil
+}
+
 // Advise returns the highest selectable rate not exceeding
 // Safety · N / M, or 0 when even the lowest rate cannot be sustained
-// (including a zero or negative helper rate). Rates may be in any order;
-// the scan picks the maximum qualifying rate directly, so no per-call
-// sorting or copying happens.
+// (including a zero or negative helper rate). Out-of-range PacketsPerBit
+// and Safety are clamped to the NewRateAdvisor defaults (4 and 0.8) —
+// call Validate at construction to reject them instead. Rates may be in
+// any order; the scan picks the maximum qualifying rate directly, so no
+// per-call sorting or copying happens.
 func (ra RateAdvisor) Advise(helperPacketsPerSecond float64) float64 {
 	if helperPacketsPerSecond <= 0 {
 		return 0

@@ -31,6 +31,47 @@ func TestAdviseZeroWhenStarved(t *testing.T) {
 	}
 }
 
+// TestAdvisorValidateAndClamp pins both halves of the configuration
+// contract: Validate rejects out-of-range parameters at construction,
+// and Advise — which must keep a live control loop running — clamps the
+// same parameters to the NewRateAdvisor defaults (M=4, Safety=0.8)
+// rather than failing. The clamp is documented, not silent: every
+// clamped case here advises exactly what the default advisor would.
+func TestAdvisorValidateAndClamp(t *testing.T) {
+	def := NewRateAdvisor()
+	cases := []struct {
+		name      string
+		ra        RateAdvisor
+		wantValid bool
+		clamped   bool // Advise must match the default advisor
+	}{
+		{"defaults", NewRateAdvisor(), true, false},
+		{"custom in-range", RateAdvisor{PacketsPerBit: 3, Safety: 1}, true, false},
+		{"zero packets per bit", RateAdvisor{PacketsPerBit: 0, Safety: 0.8}, false, true},
+		{"negative packets per bit", RateAdvisor{PacketsPerBit: -2, Safety: 0.8}, false, true},
+		{"zero safety", RateAdvisor{PacketsPerBit: 4, Safety: 0}, false, true},
+		{"negative safety", RateAdvisor{PacketsPerBit: 4, Safety: -0.5}, false, true},
+		{"safety above one", RateAdvisor{PacketsPerBit: 4, Safety: 1.5}, false, true},
+		{"both out of range", RateAdvisor{PacketsPerBit: 0, Safety: 2}, false, true},
+		{"non-positive custom rate", RateAdvisor{PacketsPerBit: 4, Safety: 0.8,
+			Rates: []float64{100, 0}}, false, false},
+	}
+	for _, tc := range cases {
+		err := tc.ra.Validate()
+		if (err == nil) != tc.wantValid {
+			t.Errorf("%s: Validate() = %v, want valid: %v", tc.name, err, tc.wantValid)
+		}
+		if !tc.clamped {
+			continue
+		}
+		for _, n := range []float64{0, 100, 500, 3070, 10000} {
+			if got, want := tc.ra.Advise(n), def.Advise(n); got != want {
+				t.Errorf("%s: Advise(%v) = %v, want the default advisor's %v", tc.name, n, got, want)
+			}
+		}
+	}
+}
+
 func TestAdviseEdgeCases(t *testing.T) {
 	cases := []struct {
 		name string

@@ -1,0 +1,419 @@
+// Package serve is the concurrent decode-serving layer: it multiplexes
+// many simultaneous measurement streams — each one tag transmission being
+// captured somewhere — over the streaming decode core, the step from "a
+// helper decoding one tag" (the paper's single-reader prototype) to a
+// service shape that can sit behind heavy traffic.
+//
+// One Session runs one uplink.StreamDecoder (whose frame arena lives in
+// the shared pooled dsp scratch, so a thousand sessions reuse the same
+// buffers frame after frame) fed through a fixed ring of preallocated
+// measurement slots by a dedicated worker goroutine. The layer is
+// production-shaped by construction:
+//
+//   - Bounded admission. Open rejects with ErrOverloaded once MaxSessions
+//     are active and with ErrDraining during shutdown — overload is an
+//     explicit refusal, never queue growth.
+//   - Bounded per-session buffering. The slot ring holds SessionBuffer
+//     measurements; TryPush rejects with ErrBufferFull when it is full,
+//     and the blocking Push waits for a slot, which is what turns into
+//     TCP backpressure at the transport (the reader stops reading, the
+//     client's sends stall). Nothing ever buffers beyond the ring.
+//   - Poison containment. A malformed stream (backwards timestamps, shape
+//     drift) poisons only its own session: the error is delivered on that
+//     session's sink and every other session decodes on, bit-identical to
+//     what it would have produced alone.
+//   - Graceful drain. Drain stops admission, finishes every in-frame
+//     session (flushing partial frames exactly like the batch decoders
+//     do at end of trace), and force-aborts whatever is left at the hard
+//     deadline.
+//   - Deterministic instrumentation. Counters are atomics internally and
+//     publish into an internal/obs registry on demand (obs registries are
+//     single-goroutine by contract, so the concurrent layer cannot write
+//     them directly).
+//
+// The wall clock enters only through Config.Now, injected by the daemon
+// (cmd/wbserved passes time.Now); the library itself never reads it, so
+// tests run deterministic and wblint's DT001 holds by construction.
+// See DESIGN.md §12 for the session lifecycle and the drain state
+// machine, and cmd/wbserved / cmd/wbload for the daemon and the
+// load-replay client.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/uplink"
+)
+
+// Rejection and lifecycle errors. Open and Push return these wrapped or
+// verbatim; transports map them onto wire-level reject reasons.
+var (
+	// ErrOverloaded rejects an Open when MaxSessions are already active.
+	ErrOverloaded = errors.New("serve: at session capacity")
+	// ErrDraining rejects an Open during shutdown.
+	ErrDraining = errors.New("serve: draining")
+	// ErrBufferFull rejects a TryPush when the session's slot ring is full.
+	ErrBufferFull = errors.New("serve: session buffer full")
+	// ErrSessionClosed rejects a Push after Finish or an abort.
+	ErrSessionClosed = errors.New("serve: session closed")
+)
+
+// SessionParams declares one measurement stream: what transmission the
+// session expects and the fixed shape of every measurement it will carry.
+type SessionParams struct {
+	// Mode selects CSI or RSSI decoding.
+	Mode uplink.StreamMode
+	// BitRate is the tag's uplink bit rate in bits/s.
+	BitRate float64
+	// Start is the expected transmission start time in seconds.
+	Start float64
+	// PayloadLen is the expected payload length in bits.
+	PayloadLen int
+	// Antennas and Subchannels fix the measurement shape. Subchannels may
+	// be 0 for an RSSI-only stream (CSI rows are then empty).
+	Antennas, Subchannels int
+}
+
+// Validate checks the parameters a transport cannot default away.
+func (p SessionParams) Validate() error {
+	if p.Mode != uplink.StreamCSI && p.Mode != uplink.StreamRSSI {
+		return fmt.Errorf("serve: unknown stream mode %d", int(p.Mode))
+	}
+	if p.BitRate <= 0 {
+		return fmt.Errorf("serve: bit rate must be positive, got %v", p.BitRate)
+	}
+	if p.PayloadLen <= 0 {
+		return fmt.Errorf("serve: payload length must be positive, got %d", p.PayloadLen)
+	}
+	if p.Antennas <= 0 || p.Antennas > 64 {
+		return fmt.Errorf("serve: implausible antenna count %d", p.Antennas)
+	}
+	if p.Subchannels < 0 || p.Subchannels > 1024 {
+		return fmt.Errorf("serve: implausible sub-channel count %d", p.Subchannels)
+	}
+	if p.Mode == uplink.StreamCSI && p.Subchannels == 0 {
+		return fmt.Errorf("serve: CSI mode needs at least one sub-channel")
+	}
+	return nil
+}
+
+// Sink receives a session's decoded output. EmitBits is called from the
+// session's worker goroutine the moment the frame closes; EmitResult is
+// called exactly once when the session completes (flush, poison, or
+// abort). Implementations must not block indefinitely — a sink that never
+// returns holds its session's worker hostage until the drain deadline
+// force-closes the transport.
+type Sink interface {
+	// EmitBits delivers the frame's bits as soon as they decode. A
+	// returned error ends the session (the client is gone).
+	EmitBits(bits []uplink.BitDecision) error
+	// EmitResult delivers the final outcome: the full decode result, or
+	// the first error the session hit (push failure, flush failure, or a
+	// sink write failure).
+	EmitResult(res *uplink.Result, err error)
+}
+
+// Config parameterizes a Server. The zero value is usable: defaults
+// below, no deadlines (Now nil keeps the layer fully deterministic).
+type Config struct {
+	// MaxSessions bounds concurrently active sessions (admission
+	// control). Zero means DefaultMaxSessions.
+	MaxSessions int
+	// SessionBuffer is the per-session measurement slot ring size. Zero
+	// means DefaultSessionBuffer.
+	SessionBuffer int
+	// IdleTimeout bounds the wait for the next line on a TCP connection;
+	// a session that stops sending is flushed and closed. Zero (or a nil
+	// Now) disables deadlines.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one response write to a TCP client; a client
+	// that stops reading poisons only its own session. Zero (or a nil
+	// Now) disables the deadline.
+	WriteTimeout time.Duration
+	// DrainTimeout is the hard deadline for Drain: sessions still running
+	// when it expires are force-aborted. Zero means DefaultDrainTimeout.
+	DrainTimeout time.Duration
+	// Now supplies the wall clock for deadlines and the drain-duration
+	// metric. The daemon injects time.Now; nil disables every deadline,
+	// which is what deterministic tests want.
+	Now func() time.Time
+}
+
+// Defaults for Config's zero fields.
+const (
+	DefaultMaxSessions   = 64
+	DefaultSessionBuffer = 256
+	DefaultDrainTimeout  = 5 * time.Second
+)
+
+func (c Config) maxSessions() int {
+	if c.MaxSessions <= 0 {
+		return DefaultMaxSessions
+	}
+	return c.MaxSessions
+}
+
+func (c Config) sessionBuffer() int {
+	if c.SessionBuffer <= 0 {
+		return DefaultSessionBuffer
+	}
+	return c.SessionBuffer
+}
+
+func (c Config) drainTimeout() time.Duration {
+	if c.DrainTimeout <= 0 {
+		return DefaultDrainTimeout
+	}
+	return c.DrainTimeout
+}
+
+// Server states: the drain state machine (DESIGN.md §12).
+const (
+	stateRunning = iota
+	stateDraining
+	stateClosed
+)
+
+// Server multiplexes concurrent decode sessions under one admission
+// policy. All methods are safe for concurrent use.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	state    int
+	sessions map[*Session]struct{}
+	conns    map[closer]struct{} // live transports (force-closed at the drain deadline)
+	nextID   uint64
+	drained  chan struct{} // closed when Drain completes
+
+	wg  sync.WaitGroup // one per session worker
+	met metrics
+}
+
+// closer is the slice of a transport a Server can force-close.
+type closer interface{ Close() error }
+
+// NewServer builds a Server.
+func NewServer(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg,
+		sessions: make(map[*Session]struct{}),
+		conns:    make(map[closer]struct{}),
+		drained:  make(chan struct{}),
+	}
+}
+
+// Config returns the server's effective configuration.
+func (srv *Server) Config() Config { return srv.cfg }
+
+// Open admits one new session, or rejects it: ErrOverloaded at capacity,
+// ErrDraining during shutdown, a validation error for bad parameters.
+// The session's worker starts immediately; decoded bits flow to sink.
+func (srv *Server) Open(p SessionParams, sink Sink) (*Session, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("serve: nil sink")
+	}
+	if err := p.Validate(); err != nil {
+		srv.met.rejectedBad.Add(1)
+		return nil, err
+	}
+	srv.mu.Lock()
+	if srv.state != stateRunning {
+		srv.met.rejectedDraining.Add(1)
+		srv.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if len(srv.sessions) >= srv.cfg.maxSessions() {
+		srv.met.rejectedOverload.Add(1)
+		srv.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	s, err := newSession(srv, srv.nextID, p, sink)
+	if err != nil {
+		srv.mu.Unlock()
+		return nil, err
+	}
+	srv.nextID++
+	srv.sessions[s] = struct{}{}
+	active := len(srv.sessions)
+	srv.met.accepted.Add(1)
+	srv.wg.Add(1)
+	srv.mu.Unlock()
+	srv.met.noteActive(active)
+	go s.loop()
+	return s, nil
+}
+
+// sessionClosed retires a finished session (its worker is exiting).
+func (srv *Server) sessionClosed(s *Session) {
+	srv.mu.Lock()
+	delete(srv.sessions, s)
+	active := len(srv.sessions)
+	srv.mu.Unlock()
+	srv.met.noteActive(active)
+	srv.wg.Done()
+}
+
+// Draining reports whether the server has left the running state.
+func (srv *Server) Draining() bool {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.state != stateRunning
+}
+
+// Drain executes the shutdown state machine: running → draining (stop
+// admitting, Finish every live session so in-frame captures flush their
+// partial frames) → closed. Sessions still running at the DrainTimeout
+// hard deadline are force-aborted (their transports closed, which
+// unblocks any worker stuck writing to a dead client). It returns nil
+// when every session completed within the deadline, and an error naming
+// the aborted count otherwise. Drain is idempotent; concurrent callers
+// all block until the first completes.
+func (srv *Server) Drain() error {
+	srv.mu.Lock()
+	if srv.state != stateRunning {
+		srv.mu.Unlock()
+		<-srv.drained
+		if n := srv.met.abortedSessions.Load(); n > 0 {
+			return fmt.Errorf("serve: drain aborted %d sessions at the deadline", n)
+		}
+		return nil
+	}
+	srv.state = stateDraining
+	sessions := make([]*Session, 0, len(srv.sessions))
+	for s := range srv.sessions {
+		sessions = append(sessions, s)
+	}
+	srv.mu.Unlock()
+
+	var t0 time.Time
+	if srv.cfg.Now != nil {
+		t0 = srv.cfg.Now()
+	}
+	// Finish concurrently: one slow session's producer (blocked on a full
+	// ring behind a stuck sink) must not serialize the rest of the drain.
+	var finishers sync.WaitGroup
+	for _, s := range sessions {
+		finishers.Add(1)
+		go func(s *Session) {
+			defer finishers.Done()
+			s.Finish()
+		}(s)
+	}
+
+	workers := make(chan struct{})
+	go func() {
+		srv.wg.Wait()
+		close(workers)
+	}()
+	timer := time.NewTimer(srv.cfg.drainTimeout())
+	defer timer.Stop()
+	aborted := false
+	leaked := false
+	select {
+	case <-workers:
+	case <-timer.C:
+		aborted = true
+		srv.abortRemaining()
+		// The abort unblocked producers (quit) and transports (Close).
+		// A worker held hostage by an in-process sink that ignores the
+		// contract has nothing left to unblock it — bound this wait too
+		// and leak the worker rather than hang a daemon mid-exit.
+		grace := time.NewTimer(srv.cfg.drainTimeout())
+		select {
+		case <-workers:
+		case <-grace.C:
+			leaked = true
+		}
+		grace.Stop()
+	}
+	if !leaked {
+		finishers.Wait()
+	}
+
+	srv.mu.Lock()
+	srv.state = stateClosed
+	srv.mu.Unlock()
+	if srv.cfg.Now != nil {
+		srv.met.setDrainSeconds(srv.cfg.Now().Sub(t0).Seconds())
+	}
+	srv.met.drainedClean.Store(boolInt(!aborted))
+	close(srv.drained)
+	if leaked {
+		return fmt.Errorf("serve: drain leaked workers stuck in sinks after aborting %d sessions",
+			srv.met.abortedSessions.Load())
+	}
+	if n := srv.met.abortedSessions.Load(); n > 0 {
+		return fmt.Errorf("serve: drain aborted %d sessions at the deadline", n)
+	}
+	return nil
+}
+
+// abortRemaining force-closes everything still alive at the drain
+// deadline: sessions (unblocking their producers) and raw transports
+// (unblocking workers stuck mid-write and handlers stuck mid-read).
+func (srv *Server) abortRemaining() {
+	srv.mu.Lock()
+	sessions := make([]*Session, 0, len(srv.sessions))
+	for s := range srv.sessions {
+		sessions = append(sessions, s)
+	}
+	conns := make([]closer, 0, len(srv.conns))
+	for c := range srv.conns {
+		conns = append(conns, c)
+	}
+	srv.mu.Unlock()
+	for _, s := range sessions {
+		s.abort()
+		srv.met.abortedSessions.Add(1)
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// addConn registers a live transport for force-close at the drain
+// deadline. It reports false when the server is no longer accepting.
+func (srv *Server) addConn(c closer) bool {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.state != stateRunning {
+		return false
+	}
+	srv.conns[c] = struct{}{}
+	return true
+}
+
+// removeConn forgets a transport that closed on its own.
+func (srv *Server) removeConn(c closer) {
+	srv.mu.Lock()
+	delete(srv.conns, c)
+	srv.mu.Unlock()
+}
+
+// ActiveSessions returns the number of currently admitted sessions.
+func (srv *Server) ActiveSessions() int {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return len(srv.sessions)
+}
+
+// PublishMetrics writes the server's counters into an obs registry —
+// call it from one goroutine with a registry the concurrent layer does
+// not touch (obs registries are goroutine-confined by contract). Publish
+// into a fresh registry each time; counters add, they do not overwrite.
+func (srv *Server) PublishMetrics(r *obs.Registry) { srv.met.publish(r) }
+
+// Stats returns a point-in-time snapshot of the serving counters.
+func (srv *Server) Stats() Stats { return srv.met.stats() }
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

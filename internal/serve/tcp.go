@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"repro/internal/csi"
+	"repro/internal/uplink"
+)
+
+// ServeTCP accepts line-protocol connections on l until the listener
+// closes (net.ErrClosed returns nil — the daemon's shutdown path closes
+// the listener, then Drains). One goroutine per connection; admission is
+// still the Server's — a connection whose hello loses the Open race gets
+// an explicit reject line, never a hang.
+func (srv *Server) ServeTCP(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if !srv.addConn(conn) {
+			// Drain already started: refuse explicitly.
+			_, _ = conn.Write([]byte("reject " + ErrDraining.Error() + "\n"))
+			_ = conn.Close()
+			continue
+		}
+		go srv.handleConn(conn)
+	}
+}
+
+// handleConn runs one connection: hello → session → measurement lines →
+// flush (or EOF / idle timeout, both of which salvage the partial frame
+// exactly like wbdecode does on a truncated pipe). The handler is the
+// producer side; decoded bits flow back from the session's worker
+// through a mutex-serialized connSink.
+func (srv *Server) handleConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	defer srv.removeConn(conn)
+	sink := &connSink{srv: srv, c: conn}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	srv.stampReadDeadline(conn)
+	if !sc.Scan() {
+		return
+	}
+	p, err := ParseHello(sc.Bytes())
+	if err != nil {
+		sink.control("reject ", err.Error())
+		return
+	}
+	sess, err := srv.Open(p, sink)
+	if err != nil {
+		sink.control("reject ", err.Error())
+		return
+	}
+	sess.SetCloser(conn)
+	sink.ok(sess.ID())
+	scratch := newScratch(p)
+	for sc.Scan() {
+		srv.stampReadDeadline(conn)
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if len(line) == 5 && string(line) == "flush" {
+			finishAndWait(sess)
+			return
+		}
+		if err := ParseMeasurement(line, &scratch); err != nil {
+			sink.control("error ", err.Error())
+			finishAndWait(sess)
+			return
+		}
+		if err := sess.Push(scratch); err != nil {
+			// Poisoned or aborted: the worker delivers the error on the
+			// sink; nothing more to read from this client.
+			finishAndWait(sess)
+			return
+		}
+	}
+	// EOF, read error, or idle timeout: flush what arrived.
+	finishAndWait(sess)
+}
+
+// finishAndWait ends the session's input and blocks until its worker has
+// written the final response, so the deferred close cannot race the done
+// line.
+func finishAndWait(s *Session) {
+	s.Finish()
+	<-s.Done()
+}
+
+// stampReadDeadline arms the per-line idle deadline, when configured.
+func (srv *Server) stampReadDeadline(conn net.Conn) {
+	if srv.cfg.Now == nil || srv.cfg.IdleTimeout <= 0 {
+		return
+	}
+	_ = conn.SetReadDeadline(srv.cfg.Now().Add(srv.cfg.IdleTimeout))
+}
+
+// newScratch builds one measurement of the session's declared shape for
+// the handler to parse into; Push copies it, so one scratch per
+// connection suffices.
+func newScratch(p SessionParams) csi.Measurement {
+	m := csi.Measurement{RSSI: make([]float64, p.Antennas)}
+	if p.Subchannels > 0 {
+		m.CSI = make([][]float64, p.Antennas)
+		flat := make([]float64, p.Antennas*p.Subchannels)
+		for a := range m.CSI {
+			m.CSI[a] = flat[a*p.Subchannels : (a+1)*p.Subchannels : (a+1)*p.Subchannels]
+		}
+	}
+	return m
+}
+
+// connSink writes a session's responses to its connection. Two
+// goroutines write here — the handler (ok/reject/error control lines)
+// and the session worker (bit/done lines) — so every write holds mu.
+// The formatting paths reachable from the worker are allocation-free:
+// one reused buffer, strconv appends, no fmt.
+type connSink struct {
+	srv *Server
+	c   net.Conn
+	mu  sync.Mutex
+	buf []byte
+}
+
+// EmitBits implements Sink on the session worker's hot path.
+func (cs *connSink) EmitBits(bits []uplink.BitDecision) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.buf = cs.buf[:0]
+	for i := range bits {
+		cs.buf = append(cs.buf, "bit "...)
+		cs.buf = strconv.AppendInt(cs.buf, int64(bits[i].Index), 10)
+		cs.buf = append(cs.buf, ' ')
+		if bits[i].Bit {
+			cs.buf = append(cs.buf, '1')
+		} else {
+			cs.buf = append(cs.buf, '0')
+		}
+		cs.buf = append(cs.buf, ' ')
+		cs.buf = strconv.AppendInt(cs.buf, int64(bits[i].Measurements), 10)
+		cs.buf = append(cs.buf, '\n')
+	}
+	return cs.write(cs.buf)
+}
+
+// EmitResult implements Sink; called once, at session end.
+func (cs *connSink) EmitResult(res *uplink.Result, err error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.buf = cs.buf[:0]
+	if err != nil {
+		cs.buf = append(cs.buf, "error "...)
+		cs.buf = append(cs.buf, err.Error()...)
+		cs.buf = append(cs.buf, '\n')
+		_ = cs.write(cs.buf)
+		return
+	}
+	cs.buf = append(cs.buf, "done "...)
+	if len(res.Payload) == 0 {
+		cs.buf = append(cs.buf, '-')
+	}
+	for i := range res.Payload {
+		if res.Payload[i] {
+			cs.buf = append(cs.buf, '1')
+		} else {
+			cs.buf = append(cs.buf, '0')
+		}
+	}
+	cs.buf = append(cs.buf, " corr="...)
+	cs.buf = strconv.AppendFloat(cs.buf, res.PreambleCorrelation, 'g', -1, 64)
+	cs.buf = append(cs.buf, " mpb="...)
+	cs.buf = strconv.AppendFloat(cs.buf, res.MeasurementsPerBit, 'g', -1, 64)
+	cs.buf = append(cs.buf, '\n')
+	_ = cs.write(cs.buf)
+}
+
+// ok acknowledges the hello with the session id.
+func (cs *connSink) ok(id uint64) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.buf = cs.buf[:0]
+	cs.buf = append(cs.buf, "ok "...)
+	cs.buf = strconv.AppendUint(cs.buf, id, 10)
+	cs.buf = append(cs.buf, '\n')
+	_ = cs.write(cs.buf)
+}
+
+// control writes a reject/error control line from the handler side.
+func (cs *connSink) control(prefix, msg string) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.buf = cs.buf[:0]
+	cs.buf = append(cs.buf, prefix...)
+	cs.buf = append(cs.buf, msg...)
+	cs.buf = append(cs.buf, '\n')
+	_ = cs.write(cs.buf)
+}
+
+// write sends one formatted response, arming the write deadline when the
+// server has a clock (a client that stops reading fails its own session
+// at the deadline instead of parking the worker forever).
+func (cs *connSink) write(b []byte) error {
+	if cs.srv.cfg.Now != nil && cs.srv.cfg.WriteTimeout > 0 {
+		_ = cs.c.SetWriteDeadline(cs.srv.cfg.Now().Add(cs.srv.cfg.WriteTimeout))
+	}
+	_, err := cs.c.Write(b)
+	if err != nil {
+		return fmt.Errorf("serve: response write: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package tracecsv
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// smallCSV builds a 4-row CSI trace with a tag_state column.
+func smallCSV() string {
+	var sb strings.Builder
+	sb.WriteString("packet,timestamp,tag_state,csi_a0_s0,csi_a0_s1,csi_a1_s0,csi_a1_s1\n")
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&sb, "%d,%0.3f,%d,%0.1f,%0.1f,%0.1f,%0.1f\n",
+			i, float64(i)*0.001, i%2, 1.0+float64(i), 2.0, 3.0, 4.0)
+	}
+	return sb.String()
+}
+
+func TestParserStreamsRows(t *testing.T) {
+	p, err := NewParser(strings.NewReader(smallCSV()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasState() {
+		t.Error("tag_state column not discovered")
+	}
+	if p.Antennas() != 2 || p.Subchannels() != 2 {
+		t.Errorf("shape = (%d, %d), want (2, 2)", p.Antennas(), p.Subchannels())
+	}
+	for i := 0; ; i++ {
+		m, state, ok, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if i != 4 {
+				t.Errorf("parsed %d rows, want 4", i)
+			}
+			break
+		}
+		if m.CSI[0][0] != 1.0+float64(i) {
+			t.Errorf("row %d csi_a0_s0 = %v", i, m.CSI[0][0])
+		}
+		if state != (i%2 == 1) {
+			t.Errorf("row %d state = %v", i, state)
+		}
+	}
+}
+
+func TestReadTraceMaterializes(t *testing.T) {
+	tr, err := ReadTrace(strings.NewReader(smallCSV()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Series.Len() != 4 || !tr.HasState || len(tr.States) != 4 {
+		t.Fatalf("trace = %d rows, states %d", tr.Series.Len(), len(tr.States))
+	}
+	// Rows must be clones, not views of the parser's reused row.
+	if &tr.Series.Measurements[0].CSI[0][0] == &tr.Series.Measurements[1].CSI[0][0] {
+		t.Error("rows share backing storage")
+	}
+}
+
+// TestTruncatedFinalRow pins the pipe-cut contract: a final row cut
+// mid-line is ErrTruncatedRow (salvageable), while the same damage
+// mid-trace is a plain parse error.
+func TestTruncatedFinalRow(t *testing.T) {
+	full := smallCSV()
+	lines := strings.Split(strings.TrimSuffix(full, "\n"), "\n")
+
+	// Cut the last row mid-field.
+	cut := strings.Join(lines[:len(lines)-1], "\n") + "\n" + lines[len(lines)-1][:8]
+	p, err := NewParser(strings.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for {
+		_, _, ok, err := p.Next()
+		if err != nil {
+			if !errors.Is(err, ErrTruncatedRow) {
+				t.Fatalf("final-row cut: got %v, want ErrTruncatedRow", err)
+			}
+			break
+		}
+		if !ok {
+			t.Fatal("truncated trace ended without an error")
+		}
+		rows++
+	}
+	if rows != 3 {
+		t.Errorf("salvaged %d complete rows before the cut, want 3", rows)
+	}
+
+	// The same short row mid-trace is corruption, not truncation.
+	bad := lines[0] + "\n" + lines[1][:8] + "\n" + lines[2] + "\n"
+	p, err = NewParser(strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, _, ok, err := p.Next()
+		if err != nil {
+			if errors.Is(err, ErrTruncatedRow) {
+				t.Error("mid-trace corruption misclassified as truncation")
+			}
+			break
+		}
+		if !ok {
+			t.Fatal("corrupt trace parsed cleanly")
+		}
+	}
+
+	// ReadTrace propagates the classification.
+	if _, err := ReadTrace(strings.NewReader(cut)); !errors.Is(err, ErrTruncatedRow) {
+		t.Errorf("ReadTrace on a cut trace: %v", err)
+	}
+}
+
+func TestParserHeaderErrors(t *testing.T) {
+	if _, err := NewParser(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Error("headerless trace should fail")
+	}
+	if _, err := NewParser(strings.NewReader("timestamp,other\n")); err == nil {
+		t.Error("trace without measurement columns should fail")
+	}
+	if _, err := NewParser(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+}

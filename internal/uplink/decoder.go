@@ -370,11 +370,11 @@ func (d *Decoder) DecodeRSSI(s *csi.Series, start float64, payloadLen int) (*Res
 }
 
 // pushAll drives the streaming core over a whole series: push every
-// measurement, then flush. The stream runs in relaxed-timestamp mode,
-// preserving the historical batch contract that equal (non-decreasing)
-// timestamps are acceptable; the public Push is strict.
+// measurement, then flush. Push and the batch wrappers share one
+// timestamp contract — non-decreasing, equal timestamps legal — matching
+// what csi.Series.Append documents for the capture side.
 func (d *Decoder) pushAll(s *csi.Series, start float64, payloadLen int, mode StreamMode, single bool, antenna, subchannel int) (*Result, error) {
-	sd, err := d.newStream(start, payloadLen, mode, single, antenna, subchannel, true)
+	sd, err := d.newStream(start, payloadLen, mode, single, antenna, subchannel)
 	if err != nil {
 		return nil, err
 	}

@@ -147,9 +147,10 @@ func FuzzStreamPush(f *testing.F) {
 	f.Add(seedBytes(512), uint8(1), uint8(1), 0.01, uint8(1), true)
 	f.Add([]byte{255, 254, 253, 0, 1, 2}, uint8(2), uint8(4), math.NaN(), uint8(10), false)
 	// Non-monotonic time steps (17 trips the backwards-dt branch): the
-	// strict Push ordering check must reject these with an error.
+	// Push ordering check must reject these with an error.
 	f.Add(bytes.Repeat([]byte{10, 17, 0, 0}, 64), uint8(3), uint8(30), 0.0, uint8(16), false)
-	// Zero time steps make duplicate timestamps: strict mode rejects them.
+	// Zero time steps make duplicate timestamps: legal (non-decreasing),
+	// and the stream must decode them identically to the batch path.
 	f.Add(bytes.Repeat([]byte{0, 1, 120, 80}, 64), uint8(2), uint8(4), 0.0, uint8(8), true)
 	f.Fuzz(func(t *testing.T, data []byte, antsRaw, subsRaw uint8, start float64, payloadRaw uint8, rssi bool) {
 		ants := 1 + int(antsRaw)%4

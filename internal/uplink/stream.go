@@ -69,7 +69,10 @@ type BitDecision struct {
 // end. Flush finalizes a stream whose trace ended inside the frame
 // (decoding whatever arrived) and returns the full Result.
 //
-// Push requires strictly increasing timestamps and a consistent
+// Push requires non-decreasing timestamps — equal timestamps are legal,
+// exactly as csi.Series.Append/TrimBefore document for the capture side,
+// so a capture that timestamps two packets identically (coarse clocks do)
+// decodes the same live as it does in batch — and a consistent
 // measurement shape; violations return an error and poison the stream
 // (every later call returns the same error) — never a panic. A
 // StreamDecoder is single-use and not safe for concurrent use.
@@ -84,11 +87,6 @@ type StreamDecoder struct {
 	start, end float64
 	payloadLen int
 	nbits      int
-
-	// relaxed permits equal (non-decreasing) timestamps. The batch
-	// wrappers use it to preserve the historical DecodeCSI/DecodeRSSI
-	// contract; the public Push is strict.
-	relaxed bool
 
 	// Shape, learned from the first push.
 	shaped     bool
@@ -120,7 +118,7 @@ func (d *Decoder) NewStream(start float64, payloadLen int, mode StreamMode) (*St
 	if mode != StreamCSI && mode != StreamRSSI {
 		return nil, fmt.Errorf("uplink: unknown stream mode %d", int(mode))
 	}
-	return d.newStream(start, payloadLen, mode, false, 0, 0, false)
+	return d.newStream(start, payloadLen, mode, false, 0, 0)
 }
 
 // NewSingleChannelStream is NewStream restricted to exactly one CSI
@@ -129,10 +127,10 @@ func (d *Decoder) NewSingleChannelStream(start float64, payloadLen, antenna, sub
 	if antenna < 0 || subchannel < 0 {
 		return nil, fmt.Errorf("uplink: stream channel (%d, %d) out of range", antenna, subchannel)
 	}
-	return d.newStream(start, payloadLen, StreamCSI, true, antenna, subchannel, false)
+	return d.newStream(start, payloadLen, StreamCSI, true, antenna, subchannel)
 }
 
-func (d *Decoder) newStream(start float64, payloadLen int, mode StreamMode, single bool, antenna, subchannel int, relaxed bool) (*StreamDecoder, error) {
+func (d *Decoder) newStream(start float64, payloadLen int, mode StreamMode, single bool, antenna, subchannel int) (*StreamDecoder, error) {
 	if payloadLen <= 0 {
 		return nil, fmt.Errorf("uplink: payload length must be positive, got %d", payloadLen)
 	}
@@ -140,7 +138,7 @@ func (d *Decoder) newStream(start float64, payloadLen int, mode StreamMode, sing
 	return &StreamDecoder{
 		d: d, mode: mode, single: single, antenna: antenna, subchannel: subchannel,
 		start: start, end: start + float64(nbits)*d.cfg.BitDuration,
-		payloadLen: payloadLen, nbits: nbits, relaxed: relaxed,
+		payloadLen: payloadLen, nbits: nbits,
 	}, nil
 }
 
@@ -184,8 +182,8 @@ func (sd *StreamDecoder) Push(m csi.Measurement) ([]BitDecision, error) {
 	if math.IsNaN(t) {
 		return nil, sd.fail(fmt.Errorf("uplink: push %d has a NaN timestamp", sd.pushes))
 	}
-	if sd.hasLast && (t < sd.last || (!sd.relaxed && t <= sd.last)) {
-		return nil, sd.fail(fmt.Errorf("uplink: push %d timestamp %v does not advance past %v; pushes must arrive in increasing timestamp order",
+	if sd.hasLast && t < sd.last {
+		return nil, sd.fail(fmt.Errorf("uplink: push %d timestamp %v goes backwards past %v; pushes must arrive in non-decreasing timestamp order",
 			sd.pushes, t, sd.last))
 	}
 	sd.last, sd.hasLast = t, true

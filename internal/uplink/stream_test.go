@@ -185,9 +185,9 @@ func TestStreamEmitsAtFrameClose(t *testing.T) {
 	}
 }
 
-// TestStreamPushErrors pins the strict-input contract: out-of-order,
-// duplicate, and NaN timestamps, shape drift, and use-after-Flush all
-// return errors (and poison the stream) rather than panicking.
+// TestStreamPushErrors pins the input contract: backwards and NaN
+// timestamps, shape drift, and use-after-Flush all return errors (and
+// poison the stream) rather than panicking.
 func TestStreamPushErrors(t *testing.T) {
 	_, mod, s := streamSynth(t, 20, 5)
 	d, _ := NewDecoder(DefaultConfig(0.01))
@@ -212,14 +212,6 @@ func TestStreamPushErrors(t *testing.T) {
 	}
 	if _, err := sd.Flush(); err == nil {
 		t.Error("Flush on a poisoned stream should error")
-	}
-
-	sd = mk()
-	if _, err := sd.Push(m0); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := sd.Push(m0); err == nil {
-		t.Error("duplicate timestamp should error on the strict public Push")
 	}
 
 	sd = mk()
@@ -249,6 +241,60 @@ func TestStreamPushErrors(t *testing.T) {
 	// Flush stays idempotent after success.
 	if res, err := sd.Flush(); err != nil || res == nil {
 		t.Errorf("second Flush: res=%v err=%v", res, err)
+	}
+}
+
+// TestStreamEqualTimestamps is the regression test for the contract
+// mismatch at the stream seam: csi.Series.Append documents non-decreasing
+// (equal legal) timestamps, and Push must accept the same series the
+// batch wrappers accept — including duplicates landing exactly on the
+// frame-end boundary — and decode it byte-identically.
+func TestStreamEqualTimestamps(t *testing.T) {
+	_, mod, s := streamSynth(t, 20, 9)
+	d, _ := NewDecoder(DefaultConfig(0.01))
+
+	// Duplicate every 7th measurement, plus the first one at or past the
+	// frame end (the push that closes the frame), plus the final one.
+	dup := &csi.Series{}
+	closed := false
+	for _, m := range s.Measurements {
+		dup.Append(m)
+		if len(dup.Measurements)%7 == 0 {
+			dup.Append(m)
+		}
+		if !closed && m.Timestamp >= mod.End() {
+			dup.Append(m) // equal timestamp at the frame-close boundary
+			closed = true
+		}
+	}
+	dup.Append(dup.Measurements[dup.Len()-1])
+
+	batch, err := d.DecodeCSI(dup, mod.Start(), 20)
+	if err != nil {
+		t.Fatalf("batch decode of an equal-timestamp series: %v", err)
+	}
+
+	sd, err := d.NewStream(mod.Start(), 20, StreamCSI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted []BitDecision
+	for i, m := range dup.Measurements {
+		out, err := sd.Push(m)
+		if err != nil {
+			t.Fatalf("Push %d (ts=%v) rejected an equal timestamp: %v", i, m.Timestamp, err)
+		}
+		emitted = append(emitted, out...)
+	}
+	res, err := sd.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, batch) {
+		t.Errorf("stream result differs from batch on an equal-timestamp series:\nstream: %+v\nbatch:  %+v", res, batch)
+	}
+	if len(emitted) != 20 {
+		t.Errorf("frame with duplicated boundary timestamp emitted %d bits, want 20", len(emitted))
 	}
 }
 
