@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint race fuzz bench bench-stream metrics-golden chaos faults-golden serve check
+.PHONY: all build vet test lint race fuzz bench bench-stream metrics-golden chaos faults-golden serve chaos-serve check
 
 all: check
 
@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzMessageRoundTrip -fuzztime=10s ./internal/downlink/
 	$(GO) test -fuzz=FuzzScheduleCodec -fuzztime=10s ./internal/faults/
 	$(GO) test -fuzz=FuzzStreamPush -fuzztime=10s ./internal/uplink/
+	$(GO) test -fuzz=FuzzWireProtocol -fuzztime=10s ./internal/serve/
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -76,4 +77,13 @@ faults-golden:
 serve:
 	$(GO) test -race -count=1 ./internal/serve/ ./cmd/wbserved/ ./cmd/wbload/
 
-check: vet build lint race fuzz bench-stream metrics-golden chaos faults-golden serve
+# Wire-level chaos gate, race-enabled and always fresh: the fault-injecting
+# TCP proxy's compile-once determinism contract, and the wbload chaos runs —
+# resume-equals-batch under wire-flaky at 1 and 8 workers, byte-identical
+# -metrics snapshots for the same (seed, spec, trace). See EXPERIMENTS.md
+# "Chaos replay".
+chaos-serve:
+	$(GO) test -race -count=1 ./internal/serve/chaosproxy/
+	$(GO) test -race -count=1 -run 'TestChaos' ./cmd/wbload/
+
+check: vet build lint race fuzz bench-stream metrics-golden chaos faults-golden serve chaos-serve

@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -55,12 +57,17 @@ func buildCSV(t *testing.T) string {
 	return sb.String()
 }
 
+// baseConfig is the self-hosted run every test starts from.
+func baseConfig() loadConfig {
+	return loadConfig{sessions: 8, rate: 100, start: 1.0, payload: 20, mode: "csi"}
+}
+
 // TestRunSelfHostedEquivalence is the replay loop against an in-process
 // server: every session must come back byte-identical to batch.
 func TestRunSelfHostedEquivalence(t *testing.T) {
 	csv := buildCSV(t)
 	var out strings.Builder
-	if err := run(strings.NewReader(csv), &out, "", 8, 100, 1.0, 20, "csi"); err != nil {
+	if err := run(strings.NewReader(csv), &out, baseConfig()); err != nil {
 		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "8/8 sessions byte-identical") {
@@ -69,16 +76,122 @@ func TestRunSelfHostedEquivalence(t *testing.T) {
 }
 
 func TestRunFlagValidation(t *testing.T) {
-	if err := run(strings.NewReader(""), &strings.Builder{}, "", 4, 100, 1.0, 0, "csi"); err == nil {
-		t.Error("missing -payload accepted")
+	mod := func(f func(*loadConfig)) loadConfig {
+		cfg := baseConfig()
+		f(&cfg)
+		return cfg
 	}
-	if err := run(strings.NewReader(""), &strings.Builder{}, "", 0, 100, 1.0, 20, "csi"); err == nil {
-		t.Error("non-positive -n accepted")
+	cases := []struct {
+		name string
+		cfg  loadConfig
+		in   string
+	}{
+		{"missing payload", mod(func(c *loadConfig) { c.payload = 0 }), ""},
+		{"non-positive n", mod(func(c *loadConfig) { c.sessions = 0 }), ""},
+		{"unknown mode", mod(func(c *loadConfig) { c.mode = "fsk" }), ""},
+		{"headerless trace", baseConfig(), "a,b\n"},
+		{"bad chaos spec", mod(func(c *loadConfig) { c.chaos = "no-such-profile" }), ""},
 	}
-	if err := run(strings.NewReader(""), &strings.Builder{}, "", 4, 100, 1.0, 20, "fsk"); err == nil {
-		t.Error("unknown mode accepted")
+	for _, tc := range cases {
+		if err := run(strings.NewReader(tc.in), &strings.Builder{}, tc.cfg); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
 	}
-	if err := run(strings.NewReader("a,b\n"), &strings.Builder{}, "", 4, 100, 1.0, 20, "csi"); err == nil {
-		t.Error("headerless trace accepted")
+}
+
+// TestChaosResumeEquivalence is the tentpole acceptance check: under the
+// wire-flaky profile — which cuts every lane's first connection in both
+// directions — every resumed stream must still decode byte-identical to
+// batch, at one worker and at eight. runLoad's per-lane stats prove the
+// faults actually fired: every lane was cut and resumed at least once.
+func TestChaosResumeEquivalence(t *testing.T) {
+	csv := buildCSV(t)
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := baseConfig()
+			cfg.workers = workers
+			cfg.chaos = "wire-flaky"
+			cfg.seed = 7
+			var out strings.Builder
+			stats, err := runLoad(strings.NewReader(csv), &out, cfg)
+			if err != nil {
+				t.Fatalf("chaos run: %v\noutput:\n%s", err, out.String())
+			}
+			if !strings.Contains(out.String(), "8/8 sessions byte-identical") {
+				t.Fatalf("output missing the equivalence summary:\n%s", out.String())
+			}
+			for lane, st := range stats {
+				if st.Cuts == 0 {
+					t.Errorf("lane %d was never cut; wire-flaky must cut every connection", lane)
+				}
+				if st.Resumes == 0 {
+					t.Errorf("lane %d never resumed; its stream should have been cut mid-flight", lane)
+				}
+				if st.Attempts < 2 {
+					t.Errorf("lane %d finished in %d attempt(s); expected reconnects", lane, st.Attempts)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosMetricsDeterministic pins the reproducibility contract: the
+// same (seed, spec, trace) produce a byte-identical -metrics snapshot
+// regardless of worker count — every counter in it is a per-lane
+// function of the fault plan, not of scheduling.
+func TestChaosMetricsDeterministic(t *testing.T) {
+	csv := buildCSV(t)
+	dir := t.TempDir()
+	snapshots := make([][]byte, 0, 3)
+	for i, workers := range []int{1, 8, 8} {
+		cfg := baseConfig()
+		cfg.workers = workers
+		cfg.chaos = "wire-flaky"
+		cfg.seed = 42
+		cfg.metrics = filepath.Join(dir, fmt.Sprintf("metrics-%d.json", i))
+		var out strings.Builder
+		if err := run(strings.NewReader(csv), &out, cfg); err != nil {
+			t.Fatalf("chaos run %d: %v\noutput:\n%s", i, err, out.String())
+		}
+		blob, err := os.ReadFile(cfg.metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapshots = append(snapshots, blob)
+	}
+	if string(snapshots[0]) != string(snapshots[1]) {
+		t.Errorf("metrics differ between workers=1 and workers=8:\n%s\n---\n%s",
+			snapshots[0], snapshots[1])
+	}
+	if string(snapshots[1]) != string(snapshots[2]) {
+		t.Errorf("metrics differ between two identical workers=8 runs:\n%s\n---\n%s",
+			snapshots[1], snapshots[2])
+	}
+	for _, want := range []string{"wbload.resumes", "chaos.cuts.executed", "chaos.splits.executed"} {
+		if !strings.Contains(string(snapshots[0]), want) {
+			t.Errorf("metrics snapshot missing %s:\n%s", want, snapshots[0])
+		}
+	}
+}
+
+// TestChaosInlineSchedule drives an inline schedule through the flag
+// grammar end to end: a single certain early cut still yields a
+// byte-identical decode.
+func TestChaosInlineSchedule(t *testing.T) {
+	csv := buildCSV(t)
+	cfg := baseConfig()
+	cfg.sessions = 2
+	cfg.chaos = "burst@0:1x1;csidrop@0:20x0.5"
+	cfg.seed = 3
+	var out strings.Builder
+	stats, err := runLoad(strings.NewReader(csv), &out, cfg)
+	if err != nil {
+		t.Fatalf("inline chaos run: %v\noutput:\n%s", err, out.String())
+	}
+	for lane, st := range stats {
+		if st.Cuts == 0 {
+			t.Errorf("lane %d survived a certain cut window uncut", lane)
+		}
 	}
 }

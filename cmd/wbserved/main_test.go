@@ -80,3 +80,56 @@ func TestRunServesAndDrains(t *testing.T) {
 		t.Errorf("log missing the drain notice: %q", logw.String())
 	}
 }
+
+// TestRunListenerDeath pins the exit-status contract: a stop signal is
+// the one clean way down; the listener dying for any other reason makes
+// run return an error (so main exits non-zero and a supervisor
+// restarts the daemon), after logging and draining.
+func TestRunListenerDeath(t *testing.T) {
+	cases := []struct {
+		name string
+		kill func(l net.Listener, stop chan os.Signal)
+		// wantErr is a substring the returned error must carry; empty
+		// means run must return nil.
+		wantErr string
+	}{
+		{
+			name: "stop signal exits clean",
+			kill: func(l net.Listener, stop chan os.Signal) { stop <- os.Interrupt },
+		},
+		{
+			name:    "externally closed listener is a daemon failure",
+			kill:    func(l net.Listener, stop chan os.Signal) { _ = l.Close() },
+			wantErr: "closed unexpectedly",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop := make(chan os.Signal, 1)
+			var logw strings.Builder
+			done := make(chan error, 1)
+			cfg := serve.Config{DrainTimeout: time.Second, Now: time.Now}
+			go func() { done <- run(cfg, l, "", &logw, stop) }()
+			tc.kill(l, stop)
+			select {
+			case err := <-done:
+				if tc.wantErr == "" {
+					if err != nil {
+						t.Fatalf("run: %v", err)
+					}
+				} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("run returned %v, want an error containing %q", err, tc.wantErr)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("run did not return")
+			}
+			if !strings.Contains(logw.String(), "draining") {
+				t.Errorf("log missing the drain notice: %q", logw.String())
+			}
+		})
+	}
+}

@@ -175,6 +175,12 @@ func DefaultConfig() *Config {
 			// set (stream push, slot recycling, response formatting) must
 			// hold the same 0 allocs/measurement discipline.
 			mod + "/internal/serve.Session.loop",
+			// The resilience layer's per-bit and per-poll paths: the resume
+			// checkpoint recorder sits between the worker and the transport
+			// sink on every emitted bit, and the watchdog sweep runs on a
+			// tight cadence against every live session.
+			mod + "/internal/serve.resumeSink.EmitBits",
+			mod + "/internal/serve.Server.watchdogSweep",
 		},
 		HotPathBoxAllow: map[string]bool{
 			// Error construction only runs when a push is already being

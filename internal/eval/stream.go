@@ -7,8 +7,8 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/reader"
 	"repro/internal/tag"
-	"repro/internal/uplink"
 	"repro/internal/units"
+	"repro/internal/uplink"
 	"repro/internal/wifi"
 )
 

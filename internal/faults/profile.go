@@ -59,6 +59,38 @@ var profileBuilders = map[string]func() []Window{
 			{Kind: Fade, Start: 0, End: profileHorizon, Intensity: 0.3},
 		}
 	},
+	// wire-flaky: the serving layer's resume torture. On the wire (see
+	// internal/serve/chaosproxy) this cuts every lane's first connection
+	// at least once per direction (two certain early bursts), keeps
+	// cutting probabilistically, splits writes continuously, and stalls
+	// briefly. Deliberately corruption-free: the chaos equivalence suite
+	// requires every delivered byte to be exact, and a corrupted bit
+	// line can parse as a valid wrong bit.
+	"wire-flaky": func() []Window {
+		ws := []Window{
+			{Kind: Burst, Start: 0, End: 0.5, Intensity: 1},
+			{Kind: Burst, Start: 0.5, End: 1.0, Intensity: 1},
+			{Kind: CSIDrop, Start: 0, End: profileHorizon, Intensity: 0.6},
+		}
+		ws = append(ws, repeat(Burst, 2.0, profileHorizon, 0.5, 2.0, 0.6)...)
+		ws = append(ws, repeat(Stall, 1.0, profileHorizon, 0.3, 3.0, 0.5)...)
+		return ws
+	},
+	// wire-partition: a hard network partition — certain cuts, then a
+	// long full-intensity stall, then recurring near-total stalls. The
+	// long stall starts at t=2 so it sits past the uplink sweep's
+	// transmission window: a partial-intensity stall that releases
+	// traffic mid-frame scrambles the decode worse than a full stall
+	// that starves it outright, which would break the monotone ladder.
+	"wire-partition": func() []Window {
+		ws := []Window{
+			{Kind: Burst, Start: 0, End: 1, Intensity: 1},
+			{Kind: Burst, Start: 1.5, End: 2, Intensity: 1},
+			{Kind: Stall, Start: 2, End: 7, Intensity: 1},
+		}
+		ws = append(ws, repeat(Stall, 8, profileHorizon, 2.0, 6.0, 0.9)...)
+		return ws
+	},
 	// chaos: every impairment class, staggered so each gets exclusive
 	// time and they also overlap.
 	"chaos": func() []Window {

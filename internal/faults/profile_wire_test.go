@@ -1,0 +1,114 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// The wire-* profiles are the chaos harness's standard schedules (see
+// internal/serve/chaosproxy): wire-flaky is the resume torture the
+// equivalence suite replays under, wire-partition the hard-partition
+// shape. These tests pin their registration, the invariants the chaos
+// suite depends on, and their codec round-trips.
+
+func TestWireProfilesRegistered(t *testing.T) {
+	names := ProfileNames()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{"wire-flaky", "wire-partition"} {
+		if !have[want] {
+			t.Errorf("profile %q not registered (have %v)", want, names)
+		}
+	}
+}
+
+// TestWireFlakyShape pins the two invariants the serve chaos suite
+// rests on: no corruption anywhere (delivered bytes must be exact for
+// the resume-equals-batch check), and certain early cuts (two
+// intensity-1 burst windows inside the first second guarantee every
+// lane's first connection is cut in both directions).
+func TestWireFlakyShape(t *testing.T) {
+	s, err := Profile("wire-flaky", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certainEarlyCuts := 0
+	for _, w := range s.Windows {
+		if w.Kind == Corrupt {
+			t.Fatalf("wire-flaky contains a corrupt window %+v; corruption breaks wire equivalence", w)
+		}
+		if w.Kind == Burst && w.Intensity == 1 && w.End <= 1.0 {
+			certainEarlyCuts++
+		}
+	}
+	if certainEarlyCuts < 2 {
+		t.Errorf("wire-flaky has %d certain cut windows inside the first second, want >= 2", certainEarlyCuts)
+	}
+	if got := s.IntensityAt(CSIDrop, 15); got == 0 {
+		t.Error("wire-flaky has no mid-run csidrop (write-split) coverage")
+	}
+}
+
+// TestWirePartitionShape pins the partition profile: a full-intensity
+// stall bracketed by certain cuts.
+func TestWirePartitionShape(t *testing.T) {
+	s, err := Profile("wire-partition", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.IntensityAt(Stall, 3); got != 1 {
+		t.Errorf("wire-partition stall intensity at t=3 is %g, want 1", got)
+	}
+	cuts := 0
+	for _, w := range s.Windows {
+		if w.Kind == Burst && w.Intensity == 1 {
+			cuts++
+		}
+	}
+	if cuts < 2 {
+		t.Errorf("wire-partition has %d certain cut windows, want >= 2", cuts)
+	}
+}
+
+// TestWireProfilesCodecRoundTrip pins that both profiles survive the
+// text and JSON codecs byte-exactly — a chaos spec written to a log or
+// an EXPERIMENTS recipe reproduces the identical schedule.
+func TestWireProfilesCodecRoundTrip(t *testing.T) {
+	for _, name := range []string{"wire-flaky", "wire-partition"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := Profile(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaText, err := Parse(s.String())
+			if err != nil {
+				t.Fatalf("text round-trip parse: %v", err)
+			}
+			if !reflect.DeepEqual(viaText, s) {
+				t.Errorf("text round-trip changed the schedule:\n got %v\nwant %v", viaText, s)
+			}
+			blob, err := json.Marshal(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaJSON := &Schedule{}
+			if err := json.Unmarshal(blob, viaJSON); err != nil {
+				t.Fatalf("json round-trip parse: %v", err)
+			}
+			if !reflect.DeepEqual(viaJSON, s) {
+				t.Errorf("json round-trip changed the schedule:\n got %v\nwant %v", viaJSON, s)
+			}
+			// And the spec form users actually type resolves to it.
+			viaSpec, err := ParseSpec(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(viaSpec, s) {
+				t.Errorf("ParseSpec(%q) differs from Profile(%q, 1)", name, name)
+			}
+		})
+	}
+}

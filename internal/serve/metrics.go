@@ -25,8 +25,27 @@ type metrics struct {
 	active           atomic.Int64
 	activeHW         atomic.Int64
 	queueHW          atomic.Int64
+	queued           atomic.Int64 // aggregate slot-ring occupancy (pressure input)
 	drainSecondsBits atomic.Uint64
 	drainedClean     atomic.Int64
+
+	// Resume accounting.
+	resumed         atomic.Int64
+	resumeUnknown   atomic.Int64
+	parkedTotal     atomic.Int64
+	replayedBits    atomic.Int64
+	evictedTTL      atomic.Int64
+	evictedCapacity atomic.Int64
+
+	// Watchdog accounting.
+	watchdogScans  atomic.Int64
+	watchdogStalls atomic.Int64
+
+	// Shed accounting.
+	shedPreempted atomic.Int64
+	shedRejected  atomic.Int64
+	retryHints    atomic.Int64
+	strainBits    atomic.Uint64 // float64 bits: decaying failure rate
 }
 
 // Stats is a point-in-time snapshot of the serving counters.
@@ -59,6 +78,28 @@ type Stats struct {
 	QueueHighWater int64
 	// DrainSeconds is the measured drain duration (0 with no clock).
 	DrainSeconds float64
+	// Resumed counts successful ResumeSession re-attachments.
+	Resumed int64
+	// ResumeUnknown counts resumes rejected for an unknown/expired token.
+	ResumeUnknown int64
+	// ParkedTotal counts checkpoint park events (detach or finish).
+	ParkedTotal int64
+	// ReplayedBits counts bits re-sent to resuming clients.
+	ReplayedBits int64
+	// EvictedTTL counts checkpoints evicted by SweepResume.
+	EvictedTTL int64
+	// EvictedCapacity counts checkpoints evicted by MaxParked pressure.
+	EvictedCapacity int64
+	// WatchdogScans counts watchdog sweep passes.
+	WatchdogScans int64
+	// WatchdogStalls counts sessions aborted with ErrStalled.
+	WatchdogStalls int64
+	// ShedPreempted counts sessions preempted for higher-priority opens.
+	ShedPreempted int64
+	// ShedRejected counts opens refused by the shed policy.
+	ShedRejected int64
+	// RetryHints counts rejections that carried a retry-after hint.
+	RetryHints int64
 }
 
 // noteActive records the post-change active-session count.
@@ -77,6 +118,34 @@ func maxInt64(a *atomic.Int64, v int64) {
 			return
 		}
 	}
+}
+
+// noteStrain bumps the decaying failure-rate term of the pressure
+// signal by one event (abort, poison, stall, shed).
+func (m *metrics) noteStrain() {
+	for {
+		old := m.strainBits.Load()
+		v := math.Float64frombits(old) + 1
+		if m.strainBits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// decayStrain ages the failure-rate term; called on every accepted
+// admission so strain measures failures per unit of offered load.
+func (m *metrics) decayStrain() {
+	for {
+		old := m.strainBits.Load()
+		v := math.Float64frombits(old) * 0.9375
+		if m.strainBits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (m *metrics) strain() float64 {
+	return math.Float64frombits(m.strainBits.Load())
 }
 
 func (m *metrics) setDrainSeconds(s float64) {
@@ -103,6 +172,17 @@ func (m *metrics) stats() Stats {
 		ActiveHighWater:  m.activeHW.Load(),
 		QueueHighWater:   m.queueHW.Load(),
 		DrainSeconds:     m.drainSeconds(),
+		Resumed:          m.resumed.Load(),
+		ResumeUnknown:    m.resumeUnknown.Load(),
+		ParkedTotal:      m.parkedTotal.Load(),
+		ReplayedBits:     m.replayedBits.Load(),
+		EvictedTTL:       m.evictedTTL.Load(),
+		EvictedCapacity:  m.evictedCapacity.Load(),
+		WatchdogScans:    m.watchdogScans.Load(),
+		WatchdogStalls:   m.watchdogStalls.Load(),
+		ShedPreempted:    m.shedPreempted.Load(),
+		ShedRejected:     m.shedRejected.Load(),
+		RetryHints:       m.retryHints.Load(),
 	}
 }
 
@@ -127,4 +207,15 @@ func (m *metrics) publish(r *obs.Registry) {
 	r.Gauge("serve.queue.highwater").Set(float64(s.QueueHighWater))
 	r.Gauge("serve.drain.seconds").Set(s.DrainSeconds)
 	r.Gauge("serve.drain.clean").Set(float64(m.drainedClean.Load()))
+	r.Counter("serve.resume.resumed").Add(s.Resumed)
+	r.Counter("serve.resume.unknown").Add(s.ResumeUnknown)
+	r.Counter("serve.resume.parked_total").Add(s.ParkedTotal)
+	r.Counter("serve.resume.replayed_bits").Add(s.ReplayedBits)
+	r.Counter("serve.resume.evicted_ttl").Add(s.EvictedTTL)
+	r.Counter("serve.resume.evicted_capacity").Add(s.EvictedCapacity)
+	r.Counter("serve.watchdog.scans").Add(s.WatchdogScans)
+	r.Counter("serve.watchdog.stalls").Add(s.WatchdogStalls)
+	r.Counter("serve.shed.preempted").Add(s.ShedPreempted)
+	r.Counter("serve.shed.rejected").Add(s.ShedRejected)
+	r.Counter("serve.shed.retry_hints").Add(s.RetryHints)
 }

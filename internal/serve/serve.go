@@ -42,6 +42,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -60,6 +61,18 @@ var (
 	ErrBufferFull = errors.New("serve: session buffer full")
 	// ErrSessionClosed rejects a Push after Finish or an abort.
 	ErrSessionClosed = errors.New("serve: session closed")
+	// ErrStalled is the sticky verdict of a session the watchdog aborted
+	// because its sink or decoder stopped advancing.
+	ErrStalled = errors.New("serve: session stalled past the watchdog deadline")
+	// ErrShed is the sticky verdict of a session preempted by the load
+	// shedder to admit a higher-priority stream.
+	ErrShed = errors.New("serve: session shed for a higher-priority stream")
+	// ErrCheckpointExpired is the sticky verdict of a parked resumable
+	// session evicted by TTL or checkpoint-capacity pressure.
+	ErrCheckpointExpired = errors.New("serve: resume checkpoint expired")
+	// ErrUnknownResume rejects a resume whose token matches no parked
+	// session (never issued, already expired, or already evicted).
+	ErrUnknownResume = errors.New("serve: unknown or expired resume token")
 )
 
 // SessionParams declares one measurement stream: what transmission the
@@ -76,18 +89,42 @@ type SessionParams struct {
 	// Antennas and Subchannels fix the measurement shape. Subchannels may
 	// be 0 for an RSSI-only stream (CSI rows are then empty).
 	Antennas, Subchannels int
+	// Priority ranks the stream for load shedding, 0 (shed first) through
+	// 9 (shed last). At capacity a newcomer preempts a strictly
+	// lower-priority active session instead of being rejected.
+	Priority int
+	// Resumable opts the session into checkpointing: it gets a stable
+	// token on the ok line and survives a transport cut as a parked
+	// checkpoint until resumed or expired.
+	Resumable bool
 }
+
+// MaxPayloadLen bounds the declarable payload length. The wire parser is
+// fuzzed; without the cap a single hostile hello ("payload 1e9 bits")
+// makes the decoder preallocate gigabytes of bins.
+const MaxPayloadLen = 1 << 20
 
 // Validate checks the parameters a transport cannot default away.
 func (p SessionParams) Validate() error {
 	if p.Mode != uplink.StreamCSI && p.Mode != uplink.StreamRSSI {
 		return fmt.Errorf("serve: unknown stream mode %d", int(p.Mode))
 	}
-	if p.BitRate <= 0 {
-		return fmt.Errorf("serve: bit rate must be positive, got %v", p.BitRate)
+	// NaN compares false against everything, so "<= 0" alone would admit
+	// it (a FuzzWireProtocol finding); require a positive finite rate.
+	if !(p.BitRate > 0) || math.IsInf(p.BitRate, 0) {
+		return fmt.Errorf("serve: bit rate must be positive and finite, got %v", p.BitRate)
+	}
+	if math.IsNaN(p.Start) || math.IsInf(p.Start, 0) {
+		return fmt.Errorf("serve: start time must be finite, got %v", p.Start)
 	}
 	if p.PayloadLen <= 0 {
 		return fmt.Errorf("serve: payload length must be positive, got %d", p.PayloadLen)
+	}
+	if p.PayloadLen > MaxPayloadLen {
+		return fmt.Errorf("serve: payload length %d exceeds the %d-bit cap", p.PayloadLen, MaxPayloadLen)
+	}
+	if p.Priority < 0 || p.Priority > 9 {
+		return fmt.Errorf("serve: priority must be 0-9, got %d", p.Priority)
 	}
 	if p.Antennas <= 0 || p.Antennas > 64 {
 		return fmt.Errorf("serve: implausible antenna count %d", p.Antennas)
@@ -141,13 +178,57 @@ type Config struct {
 	// metric. The daemon injects time.Now; nil disables every deadline,
 	// which is what deterministic tests want.
 	Now func() time.Time
+
+	// ResumeTTL is how long a detached resumable checkpoint is kept
+	// before SweepResume may evict it. Zero means DefaultResumeTTL. The
+	// server never reads the clock itself: the daemon (or a test) calls
+	// SweepResume with whatever "now" it trusts, so eviction is exactly
+	// as deterministic as the caller's clock.
+	ResumeTTL time.Duration
+	// MaxParked bounds detached resumable checkpoints; beyond it the
+	// oldest parked checkpoint is evicted immediately (capacity
+	// accounting, independent of the TTL). Zero means DefaultMaxParked.
+	MaxParked int
+	// TokenSeed salts resume tokens so they are stable per server config,
+	// not guessable across deployments. Zero is a valid seed.
+	TokenSeed uint64
+	// ResumeDrainWait bounds how long ResumeSession waits for the old
+	// connection's handler to drain its delivered lines and exit on its
+	// own EOF before force-closing the transport. The natural-EOF path
+	// is what makes the resume cursor deterministic (the cut's FIN
+	// arrives behind every delivered byte); the bound only fires for a
+	// peer that vanished without FIN or a live connection being
+	// hijacked. Zero means DefaultResumeDrainWait.
+	ResumeDrainWait time.Duration
+	// StallTimeout arms the stuck-stream watchdog: a session whose worker
+	// makes no progress for this long while input is pending (queued
+	// slots, or a producer blocked on a full ring) is aborted with
+	// ErrStalled. Zero disables the watchdog.
+	StallTimeout time.Duration
+	// WatchdogPoll is the sweep cadence; zero means StallTimeout/4
+	// (min 1ms). Exposed mainly so tests can tighten it.
+	WatchdogPoll time.Duration
+	// ShedThreshold turns on pressure-based early shedding: when
+	// Pressure() meets or exceeds it, Open sheds/rejects before the hard
+	// MaxSessions wall. Zero disables early shedding (admission then
+	// degrades only at the hard cap, still with priority preemption and
+	// retry-after hints).
+	ShedThreshold float64
+	// RetryAfterBase scales the machine-readable retry-after hint
+	// attached to ErrOverloaded/ErrBufferFull rejections; the hint grows
+	// with measured pressure. Zero means DefaultRetryAfterBase.
+	RetryAfterBase time.Duration
 }
 
 // Defaults for Config's zero fields.
 const (
-	DefaultMaxSessions   = 64
-	DefaultSessionBuffer = 256
-	DefaultDrainTimeout  = 5 * time.Second
+	DefaultMaxSessions     = 64
+	DefaultSessionBuffer   = 256
+	DefaultDrainTimeout    = 5 * time.Second
+	DefaultResumeTTL       = 2 * time.Minute
+	DefaultMaxParked       = 256
+	DefaultRetryAfterBase  = 500 * time.Millisecond
+	DefaultResumeDrainWait = 5 * time.Second
 )
 
 func (c Config) maxSessions() int {
@@ -171,6 +252,45 @@ func (c Config) drainTimeout() time.Duration {
 	return c.DrainTimeout
 }
 
+func (c Config) resumeTTL() time.Duration {
+	if c.ResumeTTL <= 0 {
+		return DefaultResumeTTL
+	}
+	return c.ResumeTTL
+}
+
+func (c Config) maxParked() int {
+	if c.MaxParked <= 0 {
+		return DefaultMaxParked
+	}
+	return c.MaxParked
+}
+
+func (c Config) resumeDrainWait() time.Duration {
+	if c.ResumeDrainWait <= 0 {
+		return DefaultResumeDrainWait
+	}
+	return c.ResumeDrainWait
+}
+
+func (c Config) watchdogPoll() time.Duration {
+	if c.WatchdogPoll > 0 {
+		return c.WatchdogPoll
+	}
+	p := c.StallTimeout / 4
+	if p < time.Millisecond {
+		p = time.Millisecond
+	}
+	return p
+}
+
+func (c Config) retryAfterBase() time.Duration {
+	if c.RetryAfterBase <= 0 {
+		return DefaultRetryAfterBase
+	}
+	return c.RetryAfterBase
+}
+
 // Server states: the drain state machine (DESIGN.md §12).
 const (
 	stateRunning = iota
@@ -183,12 +303,18 @@ const (
 type Server struct {
 	cfg Config
 
-	mu       sync.Mutex
-	state    int
-	sessions map[*Session]struct{}
-	conns    map[closer]struct{} // live transports (force-closed at the drain deadline)
-	nextID   uint64
-	drained  chan struct{} // closed when Drain completes
+	mu        sync.Mutex
+	state     int
+	sessions  map[*Session]struct{}
+	conns     map[closer]struct{} // live transports (force-closed at the drain deadline)
+	nextID    uint64
+	drained   chan struct{} // closed when Drain completes
+	resumable map[string]*Session
+	nParked   int   // detached checkpoints (capacity accounting)
+	parkSeq   int64 // monotone detach order for oldest-first eviction
+
+	wdStop chan struct{} // stops the watchdog goroutine
+	wdOnce sync.Once
 
 	wg  sync.WaitGroup // one per session worker
 	met metrics
@@ -197,22 +323,34 @@ type Server struct {
 // closer is the slice of a transport a Server can force-close.
 type closer interface{ Close() error }
 
-// NewServer builds a Server.
+// NewServer builds a Server. A Config with StallTimeout > 0 starts the
+// stuck-stream watchdog goroutine; it stops when Drain begins.
 func NewServer(cfg Config) *Server {
-	return &Server{
-		cfg:      cfg,
-		sessions: make(map[*Session]struct{}),
-		conns:    make(map[closer]struct{}),
-		drained:  make(chan struct{}),
+	srv := &Server{
+		cfg:       cfg,
+		sessions:  make(map[*Session]struct{}),
+		conns:     make(map[closer]struct{}),
+		drained:   make(chan struct{}),
+		resumable: make(map[string]*Session),
+		wdStop:    make(chan struct{}),
 	}
+	if cfg.StallTimeout > 0 {
+		go srv.watchdog()
+	}
+	return srv
 }
 
 // Config returns the server's effective configuration.
 func (srv *Server) Config() Config { return srv.cfg }
 
-// Open admits one new session, or rejects it: ErrOverloaded at capacity,
-// ErrDraining during shutdown, a validation error for bad parameters.
-// The session's worker starts immediately; decoded bits flow to sink.
+// Open admits one new session, or rejects it: ErrDraining during
+// shutdown, a validation error for bad parameters, and under load the
+// shed policy decides — at the hard MaxSessions cap (or past
+// ShedThreshold pressure) a strictly higher-priority newcomer preempts
+// the lowest-priority active session (ErrShed on the victim), everyone
+// else gets ErrOverloaded wrapped in a RetryError carrying a
+// pressure-scaled retry-after hint. The session's worker starts
+// immediately; decoded bits flow to sink.
 func (srv *Server) Open(p SessionParams, sink Sink) (*Session, error) {
 	if sink == nil {
 		return nil, fmt.Errorf("serve: nil sink")
@@ -227,10 +365,18 @@ func (srv *Server) Open(p SessionParams, sink Sink) (*Session, error) {
 		srv.mu.Unlock()
 		return nil, ErrDraining
 	}
-	if len(srv.sessions) >= srv.cfg.maxSessions() {
-		srv.met.rejectedOverload.Add(1)
-		srv.mu.Unlock()
-		return nil, ErrOverloaded
+	var victim *Session
+	pressure := srv.pressureLocked()
+	atCap := len(srv.sessions) >= srv.cfg.maxSessions()
+	shedding := srv.cfg.ShedThreshold > 0 && pressure >= srv.cfg.ShedThreshold
+	if atCap || shedding {
+		victim = srv.victimLocked(p.Priority)
+		if victim == nil {
+			srv.met.rejectedOverload.Add(1)
+			srv.met.shedRejected.Add(1)
+			srv.mu.Unlock()
+			return nil, srv.retryErr(ErrOverloaded, pressure)
+		}
 	}
 	s, err := newSession(srv, srv.nextID, p, sink)
 	if err != nil {
@@ -239,20 +385,65 @@ func (srv *Server) Open(p SessionParams, sink Sink) (*Session, error) {
 	}
 	srv.nextID++
 	srv.sessions[s] = struct{}{}
+	if p.Resumable {
+		srv.registerResumableLocked(s)
+	}
 	active := len(srv.sessions)
 	srv.met.accepted.Add(1)
+	srv.met.decayStrain()
 	srv.wg.Add(1)
 	srv.mu.Unlock()
+	if victim != nil {
+		srv.shed(victim)
+	}
 	srv.met.noteActive(active)
 	go s.loop()
 	return s, nil
 }
 
-// sessionClosed retires a finished session (its worker is exiting).
+// victimLocked picks the session the shed policy would preempt to admit
+// a stream of priority prio: the lowest-priority active session, oldest
+// first on ties, and only if strictly below prio. Caller holds srv.mu.
+func (srv *Server) victimLocked(prio int) *Session {
+	var v *Session
+	for s := range srv.sessions {
+		if s.p.Priority >= prio {
+			continue
+		}
+		if v == nil || s.p.Priority < v.p.Priority ||
+			(s.p.Priority == v.p.Priority && s.id < v.id) {
+			v = s
+		}
+	}
+	return v
+}
+
+// shed preempts one victim session: sticky ErrShed verdict, producers
+// unblocked, transport closed, input ended so the worker can finalize.
+// The victim stays in srv.sessions until its worker retires it, so the
+// active count can transiently overshoot MaxSessions by in-flight
+// victims.
+func (srv *Server) shed(s *Session) {
+	if s.setErr(ErrShed) {
+		srv.met.shedPreempted.Add(1)
+		srv.met.noteStrain()
+	}
+	s.abort()
+	s.Finish()
+}
+
+// sessionClosed retires a finished session (its worker is exiting). A
+// resumable session's checkpoint is parked at this point — the recorded
+// bits and result stay replayable until TTL or capacity evicts them, so
+// a client cut between the server writing "done" and reading it can
+// still resume and re-receive the final lines.
 func (srv *Server) sessionClosed(s *Session) {
 	srv.mu.Lock()
 	delete(srv.sessions, s)
 	active := len(srv.sessions)
+	if s.rs != nil {
+		srv.parkLocked(s)
+	}
 	srv.mu.Unlock()
 	srv.met.noteActive(active)
 	srv.wg.Done()
@@ -289,6 +480,7 @@ func (srv *Server) Drain() error {
 		sessions = append(sessions, s)
 	}
 	srv.mu.Unlock()
+	srv.wdOnce.Do(func() { close(srv.wdStop) })
 
 	var t0 time.Time
 	if srv.cfg.Now != nil {
@@ -406,7 +598,14 @@ func (srv *Server) ActiveSessions() int {
 // call it from one goroutine with a registry the concurrent layer does
 // not touch (obs registries are goroutine-confined by contract). Publish
 // into a fresh registry each time; counters add, they do not overwrite.
-func (srv *Server) PublishMetrics(r *obs.Registry) { srv.met.publish(r) }
+func (srv *Server) PublishMetrics(r *obs.Registry) {
+	srv.met.publish(r)
+	r.Gauge("serve.pressure").Set(srv.Pressure())
+	srv.mu.Lock()
+	parked := srv.nParked
+	srv.mu.Unlock()
+	r.Gauge("serve.resume.parked").Set(float64(parked))
+}
 
 // Stats returns a point-in-time snapshot of the serving counters.
 func (srv *Server) Stats() Stats { return srv.met.stats() }

@@ -3,6 +3,8 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/csi"
 	"repro/internal/uplink"
@@ -38,9 +40,9 @@ type Session struct {
 	pmu    sync.Mutex
 	closed bool
 
-	quit  chan struct{} // closed by abort; unblocks a waiting Push
-	qonce sync.Once
-	done  chan struct{} // closed when the worker has delivered the result
+	quit    chan struct{} // closed by abort; unblocks a waiting Push
+	quitted atomic.Int32  // CAS guard for closing quit (no closure: abort sits on watchdog hot paths)
+	done    chan struct{} // closed when the worker has delivered the result
 
 	emu sync.Mutex
 	err error
@@ -48,6 +50,36 @@ type Session struct {
 
 	cmu    sync.Mutex
 	closer closer // transport to force-close on abort
+
+	// Resume state. rs is non-nil exactly when the session was opened
+	// Resumable; token is its stable resume handle.
+	rs    *resumeSink
+	token string
+	// consumed counts measurements accepted into the ring; a resuming
+	// client reads it back as seq= and skips that many. gen fences
+	// producers across a resume steal: wire pushes carry the generation
+	// they attached under and ErrSessionClosed out once it moves on.
+	consumed atomic.Int64
+	gen      atomic.Uint32
+	// Park bookkeeping, owned by srv.mu.
+	detached bool
+	parkedAt time.Time
+	parkOrd  int64
+	// prodExit, when non-nil, is closed by the current wire producer
+	// (the TCP handler) on exit; ResumeSession waits on it so the old
+	// connection's delivered lines are fully consumed before the resume
+	// cursor is snapshotted.
+	prodMu   sync.Mutex
+	prodExit chan struct{}
+
+	// Watchdog state: progress counts processed slots plus lifecycle
+	// steps, busy marks the worker inside a Push/finalize (a stall there
+	// counts even with an empty ring). wdProgress/wdIdle are touched only
+	// by the watchdog goroutine.
+	progress   atomic.Int64
+	busy       atomic.Int32
+	wdProgress int64
+	wdIdle     int
 }
 
 // newSession builds the session and its preallocated slot ring. The
@@ -86,6 +118,14 @@ func newSession(srv *Server, id uint64, p SessionParams, sink Sink) (*Session, e
 		s.slots[i].RSSI = make([]float64, p.Antennas)
 		s.free <- int32(i)
 	}
+	if p.Resumable {
+		s.rs = &resumeSink{
+			s:     s,
+			inner: sink,
+			bits:  make([]uplink.BitDecision, 0, p.PayloadLen),
+		}
+		s.sink = s.rs
+	}
 	return s, nil
 }
 
@@ -95,20 +135,70 @@ func (s *Session) ID() uint64 { return s.id }
 // Params returns the parameters the session was opened with.
 func (s *Session) Params() SessionParams { return s.p }
 
+// Token returns the session's resume token ("" unless Resumable).
+func (s *Session) Token() string { return s.token }
+
+// Consumed returns how many measurements the session has accepted; a
+// resuming client skips that many from its replay buffer.
+func (s *Session) Consumed() int64 { return s.consumed.Load() }
+
+// beginProducer marks a wire handler as the session's current producer.
+// The returned channel must be handed to endProducer when the handler
+// exits; ResumeSession waits on it so a resume cannot snapshot the
+// cursor while delivered lines are still being consumed.
+func (s *Session) beginProducer() chan struct{} {
+	ch := make(chan struct{})
+	s.prodMu.Lock()
+	s.prodExit = ch
+	s.prodMu.Unlock()
+	return ch
+}
+
+// endProducer retires a wire producer: deregister (unless a newer one
+// took over) and wake any resume waiting on the drain.
+func (s *Session) endProducer(ch chan struct{}) {
+	s.prodMu.Lock()
+	if s.prodExit == ch {
+		s.prodExit = nil
+	}
+	s.prodMu.Unlock()
+	close(ch)
+}
+
+// producerExit returns the current wire producer's exit channel, nil if
+// no wire producer owns the session.
+func (s *Session) producerExit() <-chan struct{} {
+	s.prodMu.Lock()
+	defer s.prodMu.Unlock()
+	return s.prodExit
+}
+
 // Push copies one measurement into the session, blocking while the slot
 // ring is full (the backpressure path — at a TCP transport the blocked
 // reader stalls the client's sends). It fails with ErrSessionClosed
 // after Finish or an abort, and with the session's sticky error once
 // poisoned.
-func (s *Session) Push(m csi.Measurement) error { return s.push(m, true) }
+func (s *Session) Push(m csi.Measurement) error { return s.push(m, true, 0, false) }
 
 // TryPush is Push without the wait: a full slot ring returns
-// ErrBufferFull immediately and drops nothing already queued.
-func (s *Session) TryPush(m csi.Measurement) error { return s.push(m, false) }
+// ErrBufferFull immediately (wrapped in a RetryError carrying the
+// backoff hint) and drops nothing already queued.
+func (s *Session) TryPush(m csi.Measurement) error { return s.push(m, false, 0, false) }
 
-func (s *Session) push(m csi.Measurement, wait bool) error {
+// pushAs is the wire producer's Push: it carries the generation the
+// handler attached under, so a handler whose session was stolen by a
+// resume on a newer connection fails out with ErrSessionClosed instead
+// of feeding measurements into the new owner's stream.
+func (s *Session) pushAs(gen uint32, m csi.Measurement) error {
+	return s.push(m, true, gen, true)
+}
+
+func (s *Session) push(m csi.Measurement, wait bool, gen uint32, fenced bool) error {
 	s.pmu.Lock()
 	defer s.pmu.Unlock()
+	if fenced && gen != s.gen.Load() {
+		return ErrSessionClosed
+	}
 	if s.closed {
 		return ErrSessionClosed
 	}
@@ -133,7 +223,9 @@ func (s *Session) push(m csi.Measurement, wait bool) error {
 		case idx = <-s.free:
 		default:
 			s.srv.met.bufferFull.Add(1)
-			return ErrBufferFull
+			// A full ring is occupancy 1 by definition; the server-wide
+			// Pressure() would need srv.mu, which this path must not take.
+			return s.srv.retryErr(ErrBufferFull, 1)
 		}
 	}
 	if err := s.copyInto(idx, m); err != nil {
@@ -141,12 +233,15 @@ func (s *Session) push(m csi.Measurement, wait bool) error {
 		// decoder's own shape check would — sticky error, input closed,
 		// the failure emitted on the sink — and touches nobody else.
 		s.free <- idx
-		s.setErr(err)
-		s.srv.met.poisoned.Add(1)
+		if s.setErr(err) {
+			s.srv.met.poisoned.Add(1)
+		}
 		s.finishLocked()
 		return err
 	}
 	s.in <- idx
+	s.consumed.Add(1)
+	s.srv.met.queued.Add(1)
 	s.srv.met.noteQueueDepth(len(s.in))
 	s.srv.met.measurements.Add(1)
 	return nil
@@ -196,12 +291,16 @@ func (s *Session) finishLocked() {
 	}
 }
 
-// abort force-ends the session at the drain deadline: it unblocks any
-// producer waiting for a slot and closes the session's transport, which
-// unblocks a worker stuck writing to a dead client. The input is closed
-// by the normal Finish path once the producer backs off.
+// abort force-ends the session — the drain deadline, the watchdog's
+// stall verdict, a shed preemption, or a checkpoint eviction: it
+// unblocks any producer waiting for a slot and closes the session's
+// transport, which unblocks a worker stuck writing to a dead client.
+// The input is closed by the normal Finish path once the producer backs
+// off.
 func (s *Session) abort() {
-	s.qonce.Do(func() { close(s.quit) })
+	if s.quitted.CompareAndSwap(0, 1) {
+		close(s.quit)
+	}
 	s.cmu.Lock()
 	c := s.closer
 	s.cmu.Unlock()
@@ -217,6 +316,16 @@ func (s *Session) SetCloser(c closer) {
 	s.cmu.Unlock()
 }
 
+// swapCloser installs a new transport and returns the previous one (the
+// resume steal path closes the old connection outside srv.mu).
+func (s *Session) swapCloser(c closer) closer {
+	s.cmu.Lock()
+	old := s.closer
+	s.closer = c
+	s.cmu.Unlock()
+	return old
+}
+
 // Done returns a channel closed once the worker has delivered the final
 // result.
 func (s *Session) Done() <-chan struct{} { return s.done }
@@ -228,12 +337,18 @@ func (s *Session) Err() error {
 	return s.err
 }
 
-func (s *Session) setErr(err error) {
+// setErr records the session's sticky error and reports whether this
+// call was the one that set it — callers count poisoned/stalled/shed
+// verdicts only on a true return, so a session dies under exactly one
+// accounting bucket.
+func (s *Session) setErr(err error) bool {
 	s.emu.Lock()
-	if s.err == nil {
+	first := s.err == nil
+	if first {
 		s.err = err
 	}
 	s.emu.Unlock()
+	return first
 }
 
 // Result blocks until the session completes and returns its outcome.
@@ -254,28 +369,40 @@ func (s *Session) Result() (*uplink.Result, error) {
 func (s *Session) loop() {
 	poisoned := false
 	for idx := range s.in {
+		s.srv.met.queued.Add(-1)
 		if poisoned {
 			s.free <- idx
+			s.progress.Add(1)
 			continue
 		}
+		s.busy.Store(1)
 		bits, err := s.sd.Push(s.slots[idx])
 		s.free <- idx
 		if err != nil {
-			s.setErr(err)
-			s.srv.met.poisoned.Add(1)
+			if s.setErr(err) {
+				s.srv.met.poisoned.Add(1)
+			}
 			poisoned = true
+			s.busy.Store(0)
+			s.progress.Add(1)
 			continue
 		}
 		if len(bits) == 0 {
+			s.busy.Store(0)
+			s.progress.Add(1)
 			continue
 		}
 		s.srv.met.bitsServed.Add(int64(len(bits)))
 		if err := s.sink.EmitBits(bits); err != nil {
-			s.setErr(err)
-			s.srv.met.poisoned.Add(1)
+			if s.setErr(err) {
+				s.srv.met.poisoned.Add(1)
+			}
 			poisoned = true
 		}
+		s.busy.Store(0)
+		s.progress.Add(1)
 	}
+	s.busy.Store(1)
 	s.finalize()
 }
 

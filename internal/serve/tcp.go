@@ -36,37 +36,137 @@ func (srv *Server) ServeTCP(l net.Listener) error {
 	}
 }
 
-// handleConn runs one connection: hello → session → measurement lines →
-// flush (or EOF / idle timeout, both of which salvage the partial frame
-// exactly like wbdecode does on a truncated pipe). The handler is the
-// producer side; decoded bits flow back from the session's worker
-// through a mutex-serialized connSink.
+// lineReader yields complete newline-terminated lines from a
+// connection into a reused buffer. Unlike bufio.Scanner it never
+// surfaces a trailing fragment without its terminator: a connection cut
+// mid-line (chaos, tag brown-out) must not hand the parser a truncated
+// prefix — "m 1.5 -42.7" cut to "m 1.5 -42" parses as a valid wrong
+// measurement, which would silently diverge a resumed stream from the
+// batch decode. Dropping the fragment is safe because the client counts
+// only complete lines and re-sends from its acknowledged cursor.
+type lineReader struct {
+	br   *bufio.Reader
+	line []byte
+}
+
+// maxLineLen bounds one protocol line (matches the former Scanner cap).
+const maxLineLen = 1 << 20
+
+func newLineReader(conn net.Conn) *lineReader {
+	return &lineReader{br: bufio.NewReaderSize(conn, 64<<10)}
+}
+
+// scan reads the next complete line, stripping the terminator (and one
+// trailing CR). It returns false on EOF, read error, deadline, or an
+// oversized line — the caller treats all of these as end of input.
+func (lr *lineReader) scan() bool {
+	lr.line = lr.line[:0]
+	for {
+		frag, err := lr.br.ReadSlice('\n')
+		lr.line = append(lr.line, frag...)
+		if err == nil {
+			lr.line = lr.line[:len(lr.line)-1]
+			if n := len(lr.line); n > 0 && lr.line[n-1] == '\r' {
+				lr.line = lr.line[:n-1]
+			}
+			return true
+		}
+		if err != bufio.ErrBufferFull || len(lr.line) > maxLineLen {
+			return false
+		}
+	}
+}
+
+// handleConn runs one connection: hello (or resume) → session →
+// measurement lines → flush (or EOF / idle timeout, both of which
+// salvage the partial frame exactly like wbdecode does on a truncated
+// pipe — except for a resumable session, which parks its checkpoint for
+// a reconnect instead). The handler is the producer side; decoded bits
+// flow back from the session's worker through a mutex-serialized
+// connSink.
 func (srv *Server) handleConn(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
 	defer srv.removeConn(conn)
 	sink := &connSink{srv: srv, c: conn}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lr := newLineReader(conn)
 	srv.stampReadDeadline(conn)
-	if !sc.Scan() {
+	if !lr.scan() {
 		return
 	}
-	p, err := ParseHello(sc.Bytes())
+	first := lr.line
+	if len(first) >= 7 && string(first[:7]) == "resume " {
+		srv.handleResume(conn, sink, lr, first)
+		return
+	}
+	p, err := ParseHello(first)
 	if err != nil {
-		sink.control("reject ", err.Error())
+		sink.reject(err)
 		return
 	}
 	sess, err := srv.Open(p, sink)
 	if err != nil {
-		sink.control("reject ", err.Error())
+		sink.reject(err)
 		return
 	}
 	sess.SetCloser(conn)
-	sink.ok(sess.ID())
-	scratch := newScratch(p)
-	for sc.Scan() {
+	if p.Resumable {
+		// Register as the wire producer before the ok line goes out: once
+		// the client holds the token it may cut and resume at any moment,
+		// and ResumeSession must always find this handler to drain.
+		ch := sess.beginProducer()
+		defer sess.endProducer(ch)
+		sink.okResumable(sess.ID(), sess.Token(), 0, false)
+	} else {
+		sink.ok(sess.ID())
+	}
+	// The original connection produces under generation 0 by definition;
+	// a resume on a newer connection bumps the generation and fences
+	// this handler's pushes out.
+	srv.serveSession(conn, sink, lr, sess, 0)
+}
+
+// handleResume re-attaches a cut client to its parked session: token
+// lookup, transport steal, ok line + missed-bit replay under the
+// checkpoint lock, then the normal measurement loop under the new
+// producer generation.
+func (srv *Server) handleResume(conn net.Conn, sink *connSink, lr *lineReader, line []byte) {
+	token, have, err := ParseResume(line)
+	if err != nil {
+		sink.reject(err)
+		return
+	}
+	sess, gen, err := srv.ResumeSession(token, conn)
+	if err != nil {
+		sink.reject(err)
+		return
+	}
+	ch := sess.beginProducer()
+	defer sess.endProducer(ch)
+	info, err := sess.Attach(sink, have, func(info AttachInfo) {
+		sink.okResumable(sess.ID(), sess.Token(), info.Consumed, info.Final)
+	})
+	if err != nil {
+		sink.reject(err)
+		return
+	}
+	if info.Final {
+		// The recorded result was replayed under Attach; nothing left.
+		return
+	}
+	srv.serveSession(conn, sink, lr, sess, gen)
+}
+
+// serveSession is the measurement loop shared by the hello and resume
+// paths.
+func (srv *Server) serveSession(conn net.Conn, sink *connSink, lr *lineReader, sess *Session, gen uint32) {
+	scratch := newScratch(sess.Params())
+	resumable := sess.rs != nil
+	for {
 		srv.stampReadDeadline(conn)
-		line := sc.Bytes()
+		if !lr.scan() {
+			break
+		}
+		line := lr.line
 		if len(line) == 0 {
 			continue
 		}
@@ -79,14 +179,29 @@ func (srv *Server) handleConn(conn net.Conn) {
 			finishAndWait(sess)
 			return
 		}
-		if err := sess.Push(scratch); err != nil {
+		if err := sess.pushAs(gen, scratch); err != nil {
+			if resumable && sess.stolen(gen) {
+				// A newer connection resumed this session mid-push; it is
+				// not ours to finish, and waiting for its result would
+				// hold this dead transport's handler hostage.
+				return
+			}
 			// Poisoned or aborted: the worker delivers the error on the
 			// sink; nothing more to read from this client.
 			finishAndWait(sess)
 			return
 		}
 	}
-	// EOF, read error, or idle timeout: flush what arrived.
+	// EOF, read error, or idle timeout.
+	if resumable {
+		if !sess.stolen(gen) {
+			// The cut is what resume exists for: park the checkpoint and
+			// keep the decoder state warm for the reconnect.
+			sess.detachFrom(sink)
+		}
+		return
+	}
+	// Plain session: flush what arrived.
 	finishAndWait(sess)
 }
 
@@ -194,6 +309,62 @@ func (cs *connSink) ok(id uint64) {
 	cs.buf = strconv.AppendUint(cs.buf, id, 10)
 	cs.buf = append(cs.buf, '\n')
 	_ = cs.write(cs.buf)
+}
+
+// okResumable acknowledges a resumable hello or resume with the token,
+// the consumed-measurement cursor, and whether the result is already
+// recorded. The id is zero-padded and the token fixed-width so the
+// line's byte length does not depend on the session id — chaos
+// schedules are compiled to absolute byte offsets and must see the same
+// offsets whatever id the admission race assigned.
+func (cs *connSink) okResumable(id uint64, token string, seq int64, final bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.buf = cs.buf[:0]
+	cs.buf = append(cs.buf, "ok "...)
+	cs.buf = appendPaddedUint(cs.buf, id, 8)
+	cs.buf = append(cs.buf, " token="...)
+	cs.buf = append(cs.buf, token...)
+	cs.buf = append(cs.buf, " seq="...)
+	cs.buf = strconv.AppendInt(cs.buf, seq, 10)
+	if final {
+		cs.buf = append(cs.buf, " fin=1"...)
+	} else {
+		cs.buf = append(cs.buf, " fin=0"...)
+	}
+	cs.buf = append(cs.buf, '\n')
+	_ = cs.write(cs.buf)
+}
+
+// appendPaddedUint appends v zero-padded to at least width digits.
+func appendPaddedUint(dst []byte, v uint64, width int) []byte {
+	start := len(dst)
+	dst = strconv.AppendUint(dst, v, 10)
+	for len(dst)-start < width {
+		dst = append(dst, '0')
+		copy(dst[start+1:], dst[start:])
+		dst[start] = '0'
+	}
+	return dst
+}
+
+// reject refuses a hello or resume; a RetryError's backoff hint goes on
+// the wire machine-readably as "reject retry-after=<seconds> <reason>".
+func (cs *connSink) reject(err error) {
+	var re *RetryError
+	if errors.As(err, &re) {
+		cs.mu.Lock()
+		defer cs.mu.Unlock()
+		cs.buf = cs.buf[:0]
+		cs.buf = append(cs.buf, "reject retry-after="...)
+		cs.buf = strconv.AppendFloat(cs.buf, re.After.Seconds(), 'g', -1, 64)
+		cs.buf = append(cs.buf, ' ')
+		cs.buf = append(cs.buf, re.Err.Error()...)
+		cs.buf = append(cs.buf, '\n')
+		_ = cs.write(cs.buf)
+		return
+	}
+	cs.control("reject ", err.Error())
 }
 
 // control writes a reject/error control line from the handler side.

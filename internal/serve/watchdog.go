@@ -1,0 +1,106 @@
+package serve
+
+import "time"
+
+// Stuck-stream watchdog (DESIGN.md §13). A session can stop advancing
+// without failing: a sink that blocks forever, a client that fills the
+// slot ring and never reads a response, a decoder wedged behind either.
+// Before this layer such a session was only caught at drain time by the
+// hard deadline. With Config.StallTimeout set, a watchdog goroutine
+// sweeps every active session on a poll cadence and tracks a progress
+// heartbeat (slots processed plus lifecycle steps). A session whose
+// heartbeat has not moved for StallTimeout while work is pending —
+// queued slots, or the worker parked inside a sink call — is aborted
+// alone with the distinct ErrStalled verdict: producers unblock, the
+// transport closes (which frees a worker stuck mid-write), and every
+// other session keeps streaming. serve.watchdog.* metrics account for
+// scans and stall verdicts.
+
+// watchdog is the sweep goroutine, started by NewServer when
+// StallTimeout > 0 and stopped when Drain begins (drain has its own
+// deadline discipline; two reapers racing would double-account).
+func (srv *Server) watchdog() {
+	t := time.NewTicker(srv.cfg.watchdogPoll())
+	defer t.Stop()
+	for {
+		select {
+		case <-srv.wdStop:
+			return
+		case <-t.C:
+			srv.watchdogSweep()
+		}
+	}
+}
+
+// watchdogSweep runs one watchdog pass over the active sessions (a
+// wblint hot-path root: it runs on a tight cadence against every live
+// session, so no boxing, no escaping closures, no unbounded append).
+// Exported to tests via WatchdogSweep.
+func (srv *Server) watchdogSweep() {
+	srv.met.watchdogScans.Add(1)
+	limit := srv.stallPolls()
+	srv.mu.Lock()
+	sessions := make([]*Session, 0, len(srv.sessions))
+	for s := range srv.sessions {
+		sessions = append(sessions, s)
+	}
+	srv.mu.Unlock()
+	for _, s := range sessions {
+		if !s.noteWatchdogPoll(limit) {
+			continue
+		}
+		srv.met.watchdogStalls.Add(1)
+		srv.met.noteStrain()
+		s.stallAbort()
+	}
+}
+
+// WatchdogSweep runs one watchdog pass synchronously. Deterministic
+// tests drive the deadline by calling it repeatedly instead of waiting
+// on the poll ticker; each call counts as one poll interval against
+// StallTimeout.
+func (srv *Server) WatchdogSweep() { srv.watchdogSweep() }
+
+// stallPolls converts the stall deadline into whole poll intervals
+// (minimum one: a sweep can only observe poll-grained time).
+func (srv *Server) stallPolls() int {
+	poll := srv.cfg.watchdogPoll()
+	n := int((srv.cfg.StallTimeout + poll - 1) / poll)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// noteWatchdogPoll folds one watchdog observation into the session and
+// reports whether the session just crossed the stall deadline. Only the
+// watchdog goroutine touches wdProgress/wdIdle. A session is eligible
+// only while work is pending: queued slots in the ring, or the worker
+// parked inside a sink call (busy) — an idle session waiting for its
+// client is not stalled, it is just quiet.
+func (s *Session) noteWatchdogPoll(limit int) bool {
+	prog := s.progress.Load()
+	if prog != s.wdProgress {
+		s.wdProgress = prog
+		s.wdIdle = 0
+		return false
+	}
+	if len(s.in) == 0 && s.busy.Load() == 0 {
+		s.wdIdle = 0
+		return false
+	}
+	s.wdIdle++
+	return s.wdIdle == limit
+}
+
+// stallAbort delivers the watchdog's verdict: sticky ErrStalled, then
+// the standard abort/finish so the worker can retire the session and
+// the sink receives the error exactly once. A session that already
+// failed for another reason keeps its first verdict.
+func (s *Session) stallAbort() {
+	if !s.setErr(ErrStalled) {
+		return
+	}
+	s.abort()
+	s.Finish()
+}

@@ -6,15 +6,26 @@ package serve
 // must not quantize).
 //
 //	client → server
-//	  hello wbserve/1 <csi|rssi> <bitrate> <start> <payload-bits> <antennas> <subchannels>
+//	  hello wbserve/1 <csi|rssi> <bitrate> <start> <payload-bits> <antennas> <subchannels> [prio=<0-9>] [resume=1]
+//	  resume wbserve/1 <token> <bits-received>
 //	  m <timestamp> <rssi per antenna ...> <csi antenna-major ...>
 //	  flush
 //	server → client
-//	  ok <session-id>
-//	  reject <reason ...>
+//	  ok <session-id>                                      (plain session)
+//	  ok <session-id> token=<16 hex> seq=<n> fin=<0|1>     (resumable session)
+//	  reject [retry-after=<seconds>] <reason ...>
 //	  bit <index> <0|1> <measurements>
 //	  done <payload bitstring|-> corr=<f> mpb=<f>
 //	  error <message ...>
+//
+// Resumable sessions (hello option resume=1) get a stable token on the
+// ok line. After a cut the client reconnects and sends a resume line
+// carrying the token and how many bit lines it actually received; the
+// server re-attaches the parked session, replays only the missed bits,
+// and reports seq= (measurements already consumed, so the client skips
+// them) and fin= (the final result was already recorded; nothing more to
+// send). All resumable ok fields are fixed-width (8-digit id, 16-hex
+// token) so wire byte offsets stay reproducible under chaos schedules.
 //
 // The parse helpers here serve both sides: the TCP front end parses
 // hello/m lines into preallocated shapes, and load clients (cmd/wbload)
@@ -53,6 +64,14 @@ func (f *fieldScanner) next() ([]byte, bool) {
 	tok := f.b[f.i:j]
 	f.i = j
 	return tok, true
+}
+
+// peek returns the next token without consuming it.
+func (f *fieldScanner) peek() ([]byte, bool) {
+	save := f.i
+	tok, ok := f.next()
+	f.i = save
+	return tok, ok
 }
 
 // rest returns everything after the current position, trimmed of one
@@ -119,8 +138,26 @@ func ParseHello(line []byte) (SessionParams, error) {
 	if p.Subchannels, err = f.int(); err != nil {
 		return p, fmt.Errorf("serve: hello sub-channels: %v", err)
 	}
-	if _, extra := f.next(); extra {
-		return p, fmt.Errorf("serve: trailing fields on hello line")
+	for {
+		tok, ok := f.next()
+		if !ok {
+			break
+		}
+		s := string(tok)
+		switch {
+		case len(s) > 5 && s[:5] == "prio=":
+			v, err := strconv.ParseInt(s[5:], 10, 64)
+			if err != nil || v < 0 || v > 9 {
+				return p, fmt.Errorf("serve: hello priority %q (want 0-9)", s[5:])
+			}
+			p.Priority = int(v)
+		case s == "resume=1":
+			p.Resumable = true
+		case s == "resume=0":
+			p.Resumable = false
+		default:
+			return p, fmt.Errorf("serve: trailing fields on hello line")
+		}
 	}
 	return p, p.Validate()
 }
@@ -145,6 +182,60 @@ func AppendHello(dst []byte, p SessionParams) []byte {
 	dst = strconv.AppendInt(dst, int64(p.Antennas), 10)
 	dst = append(dst, ' ')
 	dst = strconv.AppendInt(dst, int64(p.Subchannels), 10)
+	if p.Priority != 0 {
+		dst = append(dst, " prio="...)
+		dst = strconv.AppendInt(dst, int64(p.Priority), 10)
+	}
+	if p.Resumable {
+		dst = append(dst, " resume=1"...)
+	}
+	return dst
+}
+
+// ParseResume parses a session-resuming line into its token and the
+// number of bit lines the client already holds.
+func ParseResume(line []byte) (token string, haveBits int, err error) {
+	f := fieldScanner{b: line}
+	if tok, ok := f.next(); !ok || string(tok) != "resume" {
+		return "", 0, fmt.Errorf("serve: expected a resume line, got %q", line)
+	}
+	if tok, ok := f.next(); !ok || string(tok) != helloMagic {
+		return "", 0, fmt.Errorf("serve: unsupported protocol %q (want %s)", tok, helloMagic)
+	}
+	tok, ok := f.next()
+	if !ok {
+		return "", 0, fmt.Errorf("serve: resume is missing the token")
+	}
+	if len(tok) != tokenLen {
+		return "", 0, fmt.Errorf("serve: resume token must be %d hex digits", tokenLen)
+	}
+	for _, c := range tok {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return "", 0, fmt.Errorf("serve: resume token must be %d hex digits", tokenLen)
+		}
+	}
+	token = string(tok)
+	if haveBits, err = f.int(); err != nil {
+		return "", 0, fmt.Errorf("serve: resume bits-received: %v", err)
+	}
+	if haveBits < 0 || haveBits > MaxPayloadLen {
+		return "", 0, fmt.Errorf("serve: implausible resume bits-received %d", haveBits)
+	}
+	if _, extra := f.next(); extra {
+		return "", 0, fmt.Errorf("serve: trailing fields on resume line")
+	}
+	return token, haveBits, nil
+}
+
+// AppendResume formats the session-resuming line (client side), without
+// the trailing newline.
+func AppendResume(dst []byte, token string, haveBits int) []byte {
+	dst = append(dst, "resume "...)
+	dst = append(dst, helloMagic...)
+	dst = append(dst, ' ')
+	dst = append(dst, token...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(haveBits), 10)
 	return dst
 }
 
@@ -218,6 +309,17 @@ type Response struct {
 	Kind ResponseKind
 	// ID is the session id (RespOK).
 	ID uint64
+	// Token is the resume token (RespOK on a resumable session).
+	Token string
+	// Seq is the number of measurements the server already consumed
+	// (RespOK on a resumable session; the client skips that many).
+	Seq int64
+	// Final reports that the session's result is already recorded and
+	// will be replayed without further input (RespOK, fin=1).
+	Final bool
+	// RetryAfter is the machine-readable backoff hint in seconds
+	// (RespReject under load; 0 when the server sent none).
+	RetryAfter float64
 	// Reason is the reject or error text.
 	Reason string
 	// Bit is the decoded bit (RespBit).
@@ -246,10 +348,43 @@ func ParseResponse(line []byte) (Response, error) {
 		if !ok {
 			return r, fmt.Errorf("serve: ok line is missing the session id")
 		}
-		r.ID, err = strconv.ParseUint(string(tok), 10, 64)
-		return r, err
+		if r.ID, err = strconv.ParseUint(string(tok), 10, 64); err != nil {
+			return r, err
+		}
+		for {
+			tok, ok := f.next()
+			if !ok {
+				break
+			}
+			s := string(tok)
+			switch {
+			case len(s) > 6 && s[:6] == "token=":
+				r.Token = s[6:]
+			case len(s) > 4 && s[:4] == "seq=":
+				r.Seq, err = strconv.ParseInt(s[4:], 10, 64)
+			case s == "fin=0":
+				r.Final = false
+			case s == "fin=1":
+				r.Final = true
+			default:
+				err = fmt.Errorf("serve: unknown ok field %q", s)
+			}
+			if err != nil {
+				return r, err
+			}
+		}
+		return r, nil
 	case "reject":
 		r.Kind = RespReject
+		if tok, ok := f.peek(); ok {
+			s := string(tok)
+			if len(s) > 12 && s[:12] == "retry-after=" {
+				if r.RetryAfter, err = strconv.ParseFloat(s[12:], 64); err != nil {
+					return r, fmt.Errorf("serve: reject retry-after: %v", err)
+				}
+				f.next()
+			}
+		}
 		r.Reason = f.rest()
 		return r, nil
 	case "error":
